@@ -1,0 +1,199 @@
+//! Multi-threaded CPU HyperLogLog — the Fig 13a baseline.
+//!
+//! §7.2 runs an "optimized (AVX2), multi-threaded CPU only implementation"
+//! on an i7-7700 (4 cores / 8 SMT threads) while StRoM streams data into
+//! memory, measuring 4.64 / 9.28 / 18.40 / 24.40 Gbit/s at 1 / 2 / 4 / 8
+//! threads. The computation "is memory bound as it uses a hash table to
+//! approximate how many times it sees an item, inducing many random memory
+//! accesses", and it competes with the NIC's DMA writes for memory.
+//!
+//! Two artifacts live here:
+//!
+//! - [`parallel_hll`]: a real crossbeam-based implementation (shared-
+//!   nothing per-thread sketches merged at the end) used for functional
+//!   verification and the criterion benchmarks;
+//! - [`CpuHllModel`]: the calibrated timing model of the paper's numbers —
+//!   linear scaling across the 4 physical cores plus a ~33 % SMT bonus,
+//!   with each item costing one dependent DRAM access.
+
+use crossbeam::thread;
+
+use strom_kernels::hll::HyperLogLog;
+use strom_sim::time::TimeDelta;
+
+/// Timing model of the paper's CPU HLL throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuHllModel {
+    /// Per-8-byte-item cost on one thread, in picoseconds. 13,790 ps ≈
+    /// one dependent random DRAM access ⇒ 4.64 Gbit/s per thread — the
+    /// paper's single-thread measurement.
+    pub per_item_ps: TimeDelta,
+    /// Physical cores (4 on the i7-7700).
+    pub physical_cores: u32,
+    /// Speedup factor from running two SMT threads per core (Fig 13a:
+    /// 24.40 / 18.40 ≈ 1.33).
+    pub smt_factor: f64,
+}
+
+impl Default for CpuHllModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuHllModel {
+    /// The calibrated i7-7700 model.
+    pub fn new() -> Self {
+        CpuHllModel {
+            per_item_ps: 13_790,
+            physical_cores: 4,
+            smt_factor: 1.326,
+        }
+    }
+
+    /// Single-thread throughput in Gbit/s over 8 B items.
+    pub fn single_thread_gbps(&self) -> f64 {
+        64.0 / (self.per_item_ps as f64 / 1000.0) // bits per ns = Gbit/s.
+    }
+
+    /// Modeled throughput at `threads` threads, in Gbit/s.
+    pub fn throughput_gbps(&self, threads: u32) -> f64 {
+        let base = self.single_thread_gbps();
+        let cores = threads.min(self.physical_cores) as f64;
+        if threads <= self.physical_cores {
+            base * threads as f64
+        } else {
+            // Beyond the physical cores, SMT adds a sublinear bonus,
+            // interpolated up to 2 threads per core.
+            let extra = (threads - self.physical_cores) as f64 / self.physical_cores as f64;
+            base * cores * (1.0 + (self.smt_factor - 1.0) * extra.min(1.0))
+        }
+    }
+
+    /// Modeled time to digest `bytes` of 8 B items with `threads` threads.
+    pub fn digest_time(&self, bytes: u64, threads: u32) -> TimeDelta {
+        let gbps = self.throughput_gbps(threads);
+        ((bytes as f64 * 8.0 / gbps) * 1000.0) as TimeDelta // ps.
+    }
+}
+
+/// Computes HLL over `data` (little-endian 8 B items) with `threads`
+/// worker threads: shard the buffer, sketch privately, merge — the
+/// shared-nothing structure an optimized CPU implementation uses.
+///
+/// Returns the merged sketch.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn parallel_hll(data: &[u8], threads: usize, precision: u8) -> HyperLogLog {
+    assert!(threads > 0, "need at least one thread");
+    let items = data.len() / 8;
+    if threads == 1 || items < threads * 1024 {
+        let mut sketch = HyperLogLog::new(precision);
+        for chunk in data[..items * 8].chunks_exact(8) {
+            sketch.add_item(chunk.try_into().expect("sized"));
+        }
+        return sketch;
+    }
+    let per_thread = items.div_ceil(threads);
+    let sketches = thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let start = (t * per_thread).min(items);
+            let end = ((t + 1) * per_thread).min(items);
+            let shard = &data[start * 8..end * 8];
+            handles.push(s.spawn(move |_| {
+                let mut sketch = HyperLogLog::new(precision);
+                for chunk in shard.chunks_exact(8) {
+                    sketch.add_item(chunk.try_into().expect("sized"));
+                }
+                sketch
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("thread scope failed");
+    let mut merged = HyperLogLog::new(precision);
+    for s in &sketches {
+        merged.merge(s);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(n: u64) -> Vec<u8> {
+        (0..n).flat_map(|i| i.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn model_reproduces_fig_13a() {
+        let m = CpuHllModel::new();
+        let points = [(1u32, 4.64f64), (2, 9.28), (4, 18.40), (8, 24.40)];
+        for (threads, paper) in points {
+            let got = m.throughput_gbps(threads);
+            let err = (got - paper).abs() / paper;
+            assert!(
+                err < 0.05,
+                "{threads} threads: model {got:.2} vs paper {paper} Gbit/s"
+            );
+        }
+    }
+
+    #[test]
+    fn model_never_reaches_line_rate() {
+        // The Fig 13 takeaway: even 8 threads stay far below 100 Gbit/s.
+        let m = CpuHllModel::new();
+        assert!(m.throughput_gbps(8) < 30.0);
+    }
+
+    #[test]
+    fn digest_time_inverts_throughput() {
+        let m = CpuHllModel::new();
+        let t = m.digest_time(1 << 30, 4);
+        let secs = t as f64 / 1e12;
+        let gbps = (1u64 << 30) as f64 * 8.0 / 1e9 / secs;
+        assert!((gbps - m.throughput_gbps(4)).abs() < 0.1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = items(200_000);
+        let seq = parallel_hll(&data, 1, 12);
+        let par = parallel_hll(&data, 8, 12);
+        assert_eq!(
+            seq.estimate(),
+            par.estimate(),
+            "sharding + merge must not change the sketch"
+        );
+    }
+
+    #[test]
+    fn estimates_are_accurate() {
+        let n = 500_000u64;
+        let data = items(n);
+        let sketch = parallel_hll(&data, 4, 14);
+        let e = sketch.estimate();
+        let rel = (e - n as f64).abs() / n as f64;
+        assert!(rel < 0.04, "estimate = {e} for n = {n}");
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let data = items(100);
+        let sketch = parallel_hll(&data, 8, 10);
+        assert!((sketch.estimate() - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = parallel_hll(&[], 0, 10);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sender-side CPU partitioning (Barthels et al. \[6\]) — the
+//! "SW + RDMA WRITE" baseline of Fig 11.
+//!
+//! "In their implementation, the sender first shuffles the data locally
+//! and then writes each data partition to its corresponding remote memory
+//! location." The partitioning itself is real (the same radix hash as the
+//! kernel, 16-value partition buffers); its CPU time is charged with a
+//! calibrated per-byte rate: "the overhead of partitioning stems from the
+//! additional data pass and copy" (§6.4). The subsequent writes transfer
+//! contiguous partitions at line rate, exactly like the plain
+//! "RDMA WRITE" baseline.
+
+use strom_kernels::radix::{radix_bits, radix_partition, PARTITION_BUFFER_VALUES};
+use strom_sim::time::TimeDelta;
+
+/// CPU cost model for the partitioning pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuPartitionModel {
+    /// Partition-pass cost per input byte, in picoseconds: one read, one
+    /// radix hash, one copy into the partition buffer, amortized flushes
+    /// (≈ 3.4 GB/s single-threaded, giving Fig 11's ~30 % end-to-end
+    /// overhead).
+    pub per_byte_ps: TimeDelta,
+}
+
+impl Default for CpuPartitionModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuPartitionModel {
+    /// The calibrated model (≈ 3.4 GB/s).
+    pub fn new() -> Self {
+        CpuPartitionModel { per_byte_ps: 294 }
+    }
+
+    /// CPU time to partition `bytes` of input.
+    pub fn partition_time(&self, bytes: u64) -> TimeDelta {
+        self.per_byte_ps * bytes
+    }
+}
+
+/// The result of a real software partitioning pass.
+#[derive(Debug)]
+pub struct PartitionedBuffers {
+    /// Partition id → values, in arrival order.
+    pub partitions: Vec<Vec<u64>>,
+    /// Number of 16-value buffer flushes the pass performed (each flush
+    /// is one remote write in Barthels' scheme).
+    pub flushes: u64,
+}
+
+/// Partitions `values` exactly as the Barthels baseline does: radix hash
+/// on the N least-significant bits, staging through 16-value buffers.
+///
+/// # Panics
+///
+/// Panics if `num_partitions` is not a power of two within the kernel's
+/// on-chip limit (the baseline mirrors the kernel's configuration).
+pub fn software_partition(values: &[u64], num_partitions: usize) -> PartitionedBuffers {
+    let bits = radix_bits(num_partitions);
+    let mut partitions: Vec<Vec<u64>> = vec![Vec::new(); num_partitions];
+    let mut buffers: Vec<Vec<u64>> =
+        vec![Vec::with_capacity(PARTITION_BUFFER_VALUES); num_partitions];
+    let mut flushes = 0u64;
+    for &v in values {
+        let pid = radix_partition(v, bits);
+        buffers[pid].push(v);
+        if buffers[pid].len() == PARTITION_BUFFER_VALUES {
+            partitions[pid].extend_from_slice(&buffers[pid]);
+            buffers[pid].clear();
+            flushes += 1;
+        }
+    }
+    for (pid, buf) in buffers.iter().enumerate() {
+        if !buf.is_empty() {
+            partitions[pid].extend_from_slice(buf);
+            flushes += 1;
+        }
+    }
+    PartitionedBuffers {
+        partitions,
+        flushes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strom_kernels::shuffle::reference_partition;
+
+    fn values(n: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect()
+    }
+
+    #[test]
+    fn matches_the_reference_partitioner() {
+        let v = values(10_000);
+        let sw = software_partition(&v, 64);
+        assert_eq!(sw.partitions, reference_partition(&v, 64));
+    }
+
+    #[test]
+    fn matches_the_nic_kernel_semantics() {
+        // The software baseline and the StRoM kernel must produce the same
+        // partitions for the same input (§6.4 compares their runtimes, so
+        // their outputs must agree).
+        let v = values(5_000);
+        let sw = software_partition(&v, 16);
+        let reference = reference_partition(&v, 16);
+        assert_eq!(sw.partitions, reference);
+    }
+
+    #[test]
+    fn flush_count_accounts_every_value() {
+        let v = values(1000);
+        let sw = software_partition(&v, 8);
+        let total: usize = sw.partitions.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 1000);
+        // Between ceil(1000/16) and 1000/16 + 8 partial flushes.
+        assert!(sw.flushes >= 1000 / 16);
+        assert!(sw.flushes <= 1000 / 16 + 8);
+    }
+
+    #[test]
+    fn partition_time_is_linear() {
+        let m = CpuPartitionModel::new();
+        assert_eq!(m.partition_time(2), 2 * m.per_byte_ps);
+        // ≈ 3.4 GB/s: 1 GB in ~0.29-0.31 s.
+        let one_gb = m.partition_time(1 << 30) as f64 / 1e12;
+        assert!((0.28..0.34).contains(&one_gb), "1 GB pass = {one_gb} s");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let sw = software_partition(&[], 4);
+        assert_eq!(sw.flushes, 0);
+        assert!(sw.partitions.iter().all(|p| p.is_empty()));
+    }
+}

@@ -1,0 +1,223 @@
+//! Client-driven remote data-structure access over one-sided RDMA READs.
+//!
+//! This is the access pattern of Pilaf \[36\] and FaRM \[13\] the paper uses
+//! as its main baseline: the client issues an RDMA READ per pointer hop,
+//! parses the element locally, and issues the next READ — "each traversal
+//! involves a network round trip resulting in a linear increase of the
+//! latency with the length of the list" (§6.2).
+//!
+//! All helpers run against the simulated [`Testbed`] so baseline and
+//! StRoM numbers come from the same wire, PCIe, and host-cost models.
+
+use strom_kernels::layouts::{ht_layout, ELEMENT_SIZE};
+use strom_nic::{Testbed, WorkRequest};
+use strom_sim::time::Time;
+use strom_wire::bth::Qpn;
+
+/// A one-sided client bound to a testbed node, with a scratch buffer for
+/// landing READ responses.
+pub struct OneSidedClient {
+    /// Client node id.
+    pub node: usize,
+    /// Queue pair used for all operations.
+    pub qpn: Qpn,
+    /// Scratch buffer base (pinned on the client).
+    scratch: u64,
+    /// Rotating offset within the scratch buffer so each READ gets a
+    /// fresh watch window.
+    cursor: u64,
+    /// Scratch size.
+    scratch_len: u64,
+}
+
+impl OneSidedClient {
+    /// Creates a client; `scratch` must be pinned memory of `scratch_len`
+    /// bytes on `node`.
+    pub fn new(node: usize, qpn: Qpn, scratch: u64, scratch_len: u64) -> Self {
+        Self {
+            node,
+            qpn,
+            scratch,
+            cursor: 0,
+            scratch_len,
+        }
+    }
+
+    fn next_slot(&mut self, len: u64) -> u64 {
+        if self.cursor + len > self.scratch_len {
+            self.cursor = 0;
+        }
+        let addr = self.scratch + self.cursor;
+        // Keep slots 64 B aligned to mirror real completion buffers.
+        self.cursor += len.div_ceil(64) * 64;
+        addr
+    }
+
+    /// Issues one blocking RDMA READ; returns `(bytes, completion_time)`.
+    pub fn read_blocking(
+        &mut self,
+        tb: &mut Testbed,
+        remote_vaddr: u64,
+        len: u32,
+    ) -> (Vec<u8>, Time) {
+        let slot = self.next_slot(u64::from(len));
+        let watch = tb.add_watch(self.node, slot, u64::from(len));
+        tb.post(
+            self.node,
+            self.qpn,
+            WorkRequest::Read {
+                remote_vaddr,
+                local_vaddr: slot,
+                len,
+            },
+        );
+        let t = tb.run_until_watch(watch);
+        (tb.mem(self.node).read(slot, len as usize), t)
+    }
+
+    /// Linked-list lookup via repeated READs (Fig 7's "RDMA READ" line):
+    /// one round trip per element plus one for the value.
+    ///
+    /// Returns `(value_bytes, end_time, round_trips)`; the value is empty
+    /// if the key was not found.
+    pub fn list_lookup(
+        &mut self,
+        tb: &mut Testbed,
+        head: u64,
+        key: u64,
+        value_size: u32,
+    ) -> (Vec<u8>, Time, u32) {
+        let mut addr = head;
+        let mut rtts = 0;
+        loop {
+            let (elem, _) = self.read_blocking(tb, addr, ELEMENT_SIZE as u32);
+            rtts += 1;
+            let elem_key = u64::from_le_bytes(elem[0..8].try_into().expect("sized"));
+            let next = u64::from_le_bytes(elem[8..16].try_into().expect("sized"));
+            let value_ptr = u64::from_le_bytes(elem[16..24].try_into().expect("sized"));
+            if elem_key == key {
+                let (value, t) = self.read_blocking(tb, value_ptr, value_size);
+                return (value, t, rtts + 1);
+            }
+            if next == 0 {
+                return (Vec::new(), tb.now(), rtts);
+            }
+            addr = next;
+        }
+    }
+
+    /// Hash-table GET via two READs (Fig 8's "RDMA READ" line, best case):
+    /// entry, then value.
+    ///
+    /// Returns `(value_bytes, end_time)`; empty if the key missed.
+    pub fn hash_table_get(
+        &mut self,
+        tb: &mut Testbed,
+        entry_addr: u64,
+        key: u64,
+    ) -> (Vec<u8>, Time) {
+        let (entry, _) = self.read_blocking(tb, entry_addr, ELEMENT_SIZE as u32);
+        for pos in ht_layout::BUCKET_KEY_POS {
+            let off = usize::from(pos) * 4;
+            let k = u64::from_le_bytes(entry[off..off + 8].try_into().expect("sized"));
+            if k == key {
+                let ptr = u64::from_le_bytes(entry[off + 8..off + 16].try_into().expect("sized"));
+                let len = u32::from_le_bytes(entry[off + 16..off + 20].try_into().expect("sized"));
+                let (value, t) = self.read_blocking(tb, ptr, len);
+                return (value, t);
+            }
+        }
+        (Vec::new(), tb.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strom_kernels::layouts::{build_hash_table, build_linked_list, value_pattern};
+    use strom_nic::NicConfig;
+    use strom_sim::time::MICROS;
+
+    fn setup() -> (Testbed, OneSidedClient, u64) {
+        let mut tb = Testbed::new(NicConfig::ten_gig());
+        tb.connect_qp(1);
+        let scratch = tb.pin(0, 1 << 20);
+        let server = tb.pin(1, 1 << 20);
+        (tb, OneSidedClient::new(0, 1, scratch, 1 << 20), server)
+    }
+
+    #[test]
+    fn list_lookup_pays_one_rtt_per_element() {
+        let (mut tb, mut client, server) = setup();
+        let keys: Vec<u64> = (1..=8).map(|i| i * 11).collect();
+        let list = build_linked_list(tb.mem(1), server, &keys, 64);
+        // Key at position 5 (0-based 4): 5 element reads + 1 value read.
+        let t0 = tb.now();
+        let (value, t1, rtts) = client.list_lookup(&mut tb, list.head, 55, 64);
+        assert_eq!(value, value_pattern(55, 64));
+        assert_eq!(rtts, 6);
+        let us = (t1 - t0) as f64 / MICROS as f64;
+        // 6 round trips at ~4-6 µs each.
+        assert!((20.0..40.0).contains(&us), "lookup = {us} µs");
+        tb.run_until_idle();
+    }
+
+    #[test]
+    fn latency_is_linear_in_list_position() {
+        let (mut tb, mut client, server) = setup();
+        let keys: Vec<u64> = (1..=16).map(|i| i * 3).collect();
+        let list = build_linked_list(tb.mem(1), server, &keys, 64);
+        let t0 = tb.now();
+        let (_, t1, _) = client.list_lookup(&mut tb, list.head, 3, 64);
+        let first = t1 - t0;
+        let (_, t2, _) = client.list_lookup(&mut tb, list.head, 48, 64);
+        let last = t2 - t1;
+        // Position 16 costs ~16/2 the round trips of position 1 (2 vs 17).
+        let ratio = last as f64 / first as f64;
+        assert!((5.0..12.0).contains(&ratio), "ratio = {ratio}");
+        tb.run_until_idle();
+    }
+
+    #[test]
+    fn missing_key_traverses_the_whole_list() {
+        let (mut tb, mut client, server) = setup();
+        let list = build_linked_list(tb.mem(1), server, &[1, 2, 3], 64);
+        let (value, _, rtts) = client.list_lookup(&mut tb, list.head, 42, 64);
+        assert!(value.is_empty());
+        assert_eq!(rtts, 3);
+        tb.run_until_idle();
+    }
+
+    #[test]
+    fn hash_get_is_two_round_trips() {
+        let (mut tb, mut client, server) = setup();
+        let keys: Vec<u64> = (1..=10).collect();
+        let ht = build_hash_table(tb.mem(1), server, 256, &keys, 48);
+        for &key in &keys {
+            let (value, _) = client.hash_table_get(&mut tb, ht.entry_addr(key), key);
+            assert_eq!(value, value_pattern(key, 48), "key {key}");
+        }
+        tb.run_until_idle();
+    }
+
+    #[test]
+    fn hash_miss_returns_empty() {
+        let (mut tb, mut client, server) = setup();
+        let ht = build_hash_table(tb.mem(1), server, 64, &[7, 8], 16);
+        let (value, _) = client.hash_table_get(&mut tb, ht.entry_addr(12345), 12345);
+        assert!(value.is_empty());
+        tb.run_until_idle();
+    }
+
+    #[test]
+    fn scratch_cursor_wraps() {
+        let (mut tb, mut client, server) = setup();
+        tb.mem(1).write(server, &[42u8; 256]);
+        // Many reads must not run off the end of the scratch region.
+        for _ in 0..5000 {
+            let (data, _) = client.read_blocking(&mut tb, server, 256);
+            assert_eq!(data, vec![42u8; 256]);
+        }
+        tb.run_until_idle();
+    }
+}

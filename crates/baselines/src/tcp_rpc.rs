@@ -1,0 +1,177 @@
+//! The rpcgen-style TCP RPC baseline (§6.2).
+//!
+//! "As an additional baseline, we use the rpcgen compiler \[11\] to generate
+//! RPCs that can be invoked over TCP on the remote machine. In the case of
+//! an RPC the remote CPU is traversing the linked list. … the latency of
+//! the TCP-based RPC implementation does not vary when increasing the
+//! length of list, as the remote function invocation dominates the overall
+//! cost while the actual list traversal on the CPU is faster than that
+//! over the PCIe link" (Fig 7), and it "suffers from long message passing
+//! latency for value sizes larger than 256 B" (Fig 8).
+//!
+//! The model charges: a fixed invocation round trip (kernel TCP stacks,
+//! socket wakeups, rpcgen marshalling on both ends), a per-byte response
+//! cost (TCP copies through the socket on both sides plus wire time), and
+//! the *real* server-side traversal at DRAM latency (~80 ns per pointer
+//! hop, §6.2 footnote 7). The traversal itself executes functionally
+//! against the server's host memory.
+
+use strom_kernels::layouts::{ht_layout, ELEMENT_SIZE};
+use strom_mem::HostMemory;
+use strom_sim::time::{TimeDelta, MICROS, NANOS};
+
+/// Timing constants of the TCP RPC path.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpRpcModel {
+    /// Fixed invocation round trip: syscalls, TCP/IP stacks, socket
+    /// wakeup, and rpcgen (de)marshalling on both ends.
+    pub base_rtt: TimeDelta,
+    /// Per-byte cost of moving response payload through both TCP stacks
+    /// and the wire.
+    pub per_byte: TimeDelta,
+    /// CPU DRAM latency per dependent pointer dereference (~80 ns,
+    /// footnote 7).
+    pub mem_latency: TimeDelta,
+}
+
+impl Default for TcpRpcModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpRpcModel {
+    /// The calibrated model for the paper's 10 GbE testbed.
+    pub fn new() -> Self {
+        TcpRpcModel {
+            base_rtt: 35 * MICROS,
+            per_byte: 8 * NANOS,
+            mem_latency: 80 * NANOS,
+        }
+    }
+
+    /// Latency of an RPC returning `response_bytes` after `hops`
+    /// dependent memory accesses on the server.
+    pub fn rpc_latency(&self, hops: u64, response_bytes: u64) -> TimeDelta {
+        self.base_rtt + hops * self.mem_latency + response_bytes * self.per_byte
+    }
+
+    /// Executes a linked-list lookup as the server CPU would (real
+    /// traversal over host memory), returning `(value, latency)`.
+    pub fn list_lookup(
+        &self,
+        server_mem: &mut HostMemory,
+        head: u64,
+        key: u64,
+        value_size: u32,
+    ) -> (Vec<u8>, TimeDelta) {
+        let mut addr = head;
+        let mut hops = 0u64;
+        loop {
+            let elem = server_mem.read(addr, ELEMENT_SIZE as usize);
+            hops += 1;
+            let elem_key = u64::from_le_bytes(elem[0..8].try_into().expect("sized"));
+            let next = u64::from_le_bytes(elem[8..16].try_into().expect("sized"));
+            let value_ptr = u64::from_le_bytes(elem[16..24].try_into().expect("sized"));
+            if elem_key == key {
+                let value = server_mem.read(value_ptr, value_size as usize);
+                // One more dependent access for the value itself.
+                return (value, self.rpc_latency(hops + 1, u64::from(value_size)));
+            }
+            if next == 0 {
+                return (Vec::new(), self.rpc_latency(hops, 8));
+            }
+            addr = next;
+        }
+    }
+
+    /// Executes a hash-table GET as the server CPU would, returning
+    /// `(value, latency)`.
+    pub fn hash_table_get(
+        &self,
+        server_mem: &mut HostMemory,
+        entry_addr: u64,
+        key: u64,
+    ) -> (Vec<u8>, TimeDelta) {
+        let entry = server_mem.read(entry_addr, ELEMENT_SIZE as usize);
+        for pos in ht_layout::BUCKET_KEY_POS {
+            let off = usize::from(pos) * 4;
+            let k = u64::from_le_bytes(entry[off..off + 8].try_into().expect("sized"));
+            if k == key {
+                let ptr = u64::from_le_bytes(entry[off + 8..off + 16].try_into().expect("sized"));
+                let len = u32::from_le_bytes(entry[off + 16..off + 20].try_into().expect("sized"));
+                let value = server_mem.read(ptr, len as usize);
+                return (value, self.rpc_latency(2, u64::from(len)));
+            }
+        }
+        (Vec::new(), self.rpc_latency(1, 8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strom_kernels::layouts::{build_hash_table, build_linked_list, value_pattern};
+    use strom_mem::HUGE_PAGE_SIZE;
+
+    fn mem() -> (HostMemory, u64) {
+        let mut m = HostMemory::new();
+        let (base, _) = m.pin(HUGE_PAGE_SIZE).unwrap();
+        (m, base)
+    }
+
+    #[test]
+    fn latency_is_flat_in_list_length() {
+        // The defining property of Fig 7's TCP line.
+        let (mut m, base) = mem();
+        let keys: Vec<u64> = (1..=32).collect();
+        let list = build_linked_list(&mut m, base, &keys, 64);
+        let model = TcpRpcModel::new();
+        let (_, lat_first) = model.list_lookup(&mut m, list.head, 1, 64);
+        let (_, lat_last) = model.list_lookup(&mut m, list.head, 32, 64);
+        let delta_us = (lat_last - lat_first) as f64 / MICROS as f64;
+        assert!(
+            delta_us < 3.0,
+            "31 extra DRAM hops must cost ~2.5 µs, got {delta_us} µs"
+        );
+        // And the absolute level dwarfs a network round trip.
+        assert!(lat_first > 30 * MICROS);
+    }
+
+    #[test]
+    fn lookup_returns_the_right_value() {
+        let (mut m, base) = mem();
+        let list = build_linked_list(&mut m, base, &[5, 6, 7], 32);
+        let model = TcpRpcModel::new();
+        let (value, _) = model.list_lookup(&mut m, list.head, 6, 32);
+        assert_eq!(value, value_pattern(6, 32));
+        let (miss, _) = model.list_lookup(&mut m, list.head, 99, 32);
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn large_values_pay_message_passing_cost() {
+        // Fig 8: TCP "suffers from long message passing latency for value
+        // sizes larger than 256 B".
+        let model = TcpRpcModel::new();
+        let small = model.rpc_latency(2, 256);
+        let large = model.rpc_latency(2, 4096);
+        let delta_us = (large - small) as f64 / MICROS as f64;
+        assert!((25.0..40.0).contains(&delta_us), "delta = {delta_us} µs");
+    }
+
+    #[test]
+    fn hash_get_works() {
+        let (mut m, base) = mem();
+        let keys: Vec<u64> = (1..=12).collect();
+        let ht = build_hash_table(&mut m, base, 128, &keys, 64);
+        let model = TcpRpcModel::new();
+        for &key in &keys {
+            let (value, lat) = model.hash_table_get(&mut m, ht.entry_addr(key), key);
+            assert_eq!(value, value_pattern(key, 64));
+            assert!(lat >= model.base_rtt);
+        }
+        let (miss, _) = model.hash_table_get(&mut m, ht.entry_addr(777), 777);
+        assert!(miss.is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates every table and figure of the StRoM paper's evaluation.
+//!
+//! ```text
+//! figures                 # all experiments, quick scale
+//! figures fig7 fig8       # selected experiments
+//! figures --full          # the paper's input sizes (slower)
+//! figures --list          # list experiment names
+//! ```
+
+use strom_bench::{all_experiments, run_experiment, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--list" => {
+                for (name, desc) in all_experiments() {
+                    println!("{name:8} {desc}");
+                }
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; try --list, --full, --quick");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    let registry = all_experiments();
+    if names.is_empty() {
+        names = registry.iter().map(|(n, _)| n.to_string()).collect();
+    }
+    for name in &names {
+        if !registry.iter().any(|(n, _)| n == name) {
+            eprintln!("unknown experiment '{name}'; try --list");
+            std::process::exit(2);
+        }
+    }
+    println!(
+        "# StRoM (EuroSys'20) — regenerated evaluation ({} scale)\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    );
+    for name in names {
+        let start = std::time::Instant::now();
+        let report = run_experiment(&name, scale);
+        println!("{report}");
+        println!(
+            "({name} regenerated in {:.1}s)\n",
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation: violating §3.4's line-rate condition.
+//!
+//! "The application's hardware implementation needs to consume the data
+//! stream at line rate. Otherwise, StRoM might affect the functionality
+//! of the original RDMA operation." We wrap the HLL kernel with an
+//! artificial initiation interval (II = 1, 2, 4, 8) and stream a fixed
+//! data set through the 100 G receive tap: the kernel's effective
+//! processing rate is `width × f / II` — 164.9 Gbit/s at II = 1 (above
+//! line rate, zero overhead) but 20.6 Gbit/s at II = 8.
+
+use strom_kernels::framework::Throttled;
+use strom_kernels::hll_kernel::HllKernel;
+use strom_nic::{NicConfig, RpcOpCode, Testbed, WorkRequest};
+use strom_sim::report::{Figure, Series};
+
+use super::Scale;
+
+/// Streams `bytes` through a receive-tapped HLL kernel with the given
+/// initiation interval; returns when the kernel finished processing.
+fn run_one(ii: u64, bytes: u64) -> f64 {
+    let mut tb = Testbed::new(NicConfig::hundred_gig());
+    tb.connect_qp(1);
+    let src = tb.pin(0, bytes + (1 << 21));
+    let dst = tb.pin(1, bytes + (1 << 21));
+    tb.deploy_kernel(1, Box::new(Throttled::new(HllKernel::new(), ii)));
+    tb.set_receive_tap(1, RpcOpCode::HLL);
+    tb.mem(0).write(src, &vec![0x11u8; bytes as usize]);
+    let t0 = tb.now();
+    let h = tb.post(
+        0,
+        1,
+        WorkRequest::Write {
+            remote_vaddr: dst,
+            local_vaddr: src,
+            len: bytes as u32,
+        },
+    );
+    tb.run_until_complete(0, h);
+    tb.run_until_idle();
+    // End-to-end includes the kernel draining its pipeline backlog: a
+    // slow kernel lags the wire and becomes the bottleneck.
+    let end = tb.now().max(tb.kernel_busy_until(1, RpcOpCode::HLL));
+    let secs = (end - t0) as f64 / 1e12;
+    bytes as f64 * 8.0 / 1e9 / secs
+}
+
+/// Sweeps the initiation interval at 100 G.
+pub fn run(scale: Scale) -> Figure {
+    let bytes: u64 = match scale {
+        Scale::Quick => 8 << 20,
+        Scale::Full => 64 << 20,
+    };
+    let iis = [1u64, 2, 4, 8];
+    let series: Vec<f64> = iis.iter().map(|&ii| run_one(ii, bytes)).collect();
+    Figure::new(
+        "Ablation: kernel initiation interval at 100G (receive-tapped HLL)",
+        "II (cycles/word)",
+        iis.iter().map(|ii| ii.to_string()).collect(),
+        "Gbit/s",
+    )
+    .push_series(Series::new("end-to-end goodput incl. kernel", series))
+}

@@ -1,0 +1,120 @@
+//! Figure 10: average read latency vs consistency-failure rate (§6.3).
+//!
+//! "The failure rate is the probability that the consistency check fails
+//! when an object is read; note that in this evaluation it does not affect
+//! consecutive retries, which always succeed." READ+SW pays a full
+//! *network* round trip per retry; the StRoM kernel retries over *PCIe*,
+//! so "the overhead from StRoM is minimal up to a failure rate of 50%."
+
+use strom_baselines::{OneSidedClient, SwCrcModel};
+use strom_kernels::consistency::{ConsistencyKernel, ConsistencyParams};
+use strom_kernels::layouts::build_object_store;
+use strom_nic::{RpcOpCode, WorkRequest};
+use strom_sim::report::{Figure, Series};
+use strom_sim::stats::Samples;
+use strom_sim::SimRng;
+
+use super::{testbed_10g, Scale};
+
+/// The figure's x axis.
+pub const FAILURE_RATES: [f64; 4] = [0.0, 0.005, 0.05, 0.5];
+
+/// The figure's object sizes.
+pub const OBJECT_SIZES: [u32; 3] = [64, 512, 4096];
+
+fn size_label(bytes: u32) -> String {
+    if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Runs READ+SW and StRoM across failure rates and sizes.
+pub fn run(scale: Scale) -> Figure {
+    // Enough iterations that a 0.5 % failure rate is actually sampled.
+    let iters = match scale {
+        Scale::Quick => 400,
+        Scale::Full => 2000,
+    };
+    let mut fig = Figure::new(
+        "Fig 10: average latency vs consistency failure rate",
+        "failure rate",
+        FAILURE_RATES.iter().map(|r| format!("{r}")).collect(),
+        "us (mean)",
+    );
+
+    for &osize in &OBJECT_SIZES {
+        let payload = osize - 8;
+
+        // --- READ + SW: a failed check costs another network read ---
+        let mut sw_means = Vec::new();
+        for (ri, &rate) in FAILURE_RATES.iter().enumerate() {
+            let mut tb = testbed_10g();
+            let scratch = tb.pin(0, 4 << 20);
+            let server = tb.pin(1, 4 << 20);
+            let store = build_object_store(tb.mem(1), server, 1, payload);
+            let addr = store.object_addrs[0];
+            let mut client = OneSidedClient::new(0, 1, scratch, 4 << 20);
+            let model = SwCrcModel::new();
+            let mut rng = SimRng::seed(0xF10 + ri as u64);
+            let mut samples = Samples::new();
+            for _ in 0..iters {
+                let t0 = tb.now();
+                if rng.chance(rate) {
+                    // First read arrives torn: full read + checksum pass,
+                    // both wasted; the retry below always succeeds.
+                    let (_, _) = client.read_blocking(&mut tb, addr, osize);
+                    tb.advance(model.crc_time(osize as usize));
+                }
+                let (_, t1, attempts) = model.verified_read(&mut tb, &mut client, addr, osize, 4);
+                assert_eq!(attempts, 1);
+                samples.record(t1 - t0);
+                tb.run_until_idle();
+            }
+            sw_means.push(samples.summarize().expect("samples").mean_us());
+        }
+        fig = fig.push_series(Series::new(
+            format!("READ+SW: {}", size_label(osize)),
+            sw_means,
+        ));
+
+        // --- StRoM: the kernel retries over PCIe ---
+        let mut strom_means = Vec::new();
+        for &rate in &FAILURE_RATES {
+            let mut tb = testbed_10g();
+            let client_buf = tb.pin(0, 4 << 20);
+            let server = tb.pin(1, 4 << 20);
+            tb.deploy_kernel(1, Box::new(ConsistencyKernel::new()));
+            tb.fabric_mut(1).set_failure_rate(rate);
+            let store = build_object_store(tb.mem(1), server, 1, payload);
+            let mut samples = Samples::new();
+            for _ in 0..iters {
+                let watch = tb.add_watch(0, client_buf, u64::from(osize));
+                let t0 = tb.now();
+                tb.post(
+                    0,
+                    1,
+                    WorkRequest::Rpc {
+                        rpc_op: RpcOpCode::CONSISTENCY,
+                        params: ConsistencyParams {
+                            object_addr: store.object_addrs[0],
+                            object_len: osize,
+                            target_address: client_buf,
+                        }
+                        .encode(),
+                    },
+                );
+                let t1 = tb.run_until_watch(watch);
+                samples.record(t1 - t0);
+                tb.run_until_idle();
+            }
+            strom_means.push(samples.summarize().expect("samples").mean_us());
+        }
+        fig = fig.push_series(Series::new(
+            format!("StRoM: {}", size_label(osize)),
+            strom_means,
+        ));
+    }
+    fig
+}

@@ -1,0 +1,99 @@
+//! Figure 13: HyperLogLog on the CPU versus on StRoM (§7.2).
+//!
+//! Fig 13a: the CPU (i7-7700) computes HLL while StRoM delivers data —
+//! memory-bound, needing 8 threads for ~25 Gbit/s. Fig 13b: the HLL
+//! kernel on the 100 G NIC processes the stream as a bump-in-the-wire
+//! with **no overhead** over a plain RDMA WRITE.
+
+use strom_baselines::CpuHllModel;
+use strom_kernels::hll_kernel::HllKernel;
+use strom_nic::{RpcOpCode, WorkRequest};
+use strom_sim::report::{Figure, Series};
+use strom_sim::stats::goodput_gbps;
+use strom_sim::SimRng;
+
+use super::{testbed_100g, Scale};
+
+/// Thread counts of Fig 13a.
+pub const THREADS: [u32; 4] = [1, 2, 4, 8];
+
+/// Payload sizes of Fig 13b (2^6 – 2^14 B).
+pub fn payload_sizes() -> Vec<u32> {
+    (6..=14).step_by(2).map(|e| 1u32 << e).collect()
+}
+
+/// Fig 13a: the calibrated CPU model (the paper's measured points are
+/// 4.64 / 9.28 / 18.40 / 24.40 Gbit/s).
+pub fn cpu_hll() -> Figure {
+    let model = CpuHllModel::new();
+    let series: Vec<f64> = THREADS.iter().map(|&t| model.throughput_gbps(t)).collect();
+    Figure::new(
+        "Fig 13a: HLL throughput on the CPU (receiving via StRoM)",
+        "#threads",
+        THREADS.iter().map(|t| t.to_string()).collect(),
+        "Gbit/s",
+    )
+    .push_series(Series::new("CPU HLL", series))
+}
+
+/// Fig 13b: plain Write versus Write+HLL at 100 G.
+pub fn strom_hll(scale: Scale) -> Figure {
+    let sizes = payload_sizes();
+    let mut rng = SimRng::seed(0xF13);
+
+    let run_one = |tap: bool, size: u32, rng: &mut SimRng| -> f64 {
+        let mut tb = testbed_100g();
+        let src = tb.pin(0, 1 << 21);
+        let dst = tb.pin(1, 1 << 21);
+        if tap {
+            tb.deploy_kernel(1, Box::new(HllKernel::new()));
+            tb.set_receive_tap(1, RpcOpCode::HLL);
+        }
+        let mut buf = vec![0u8; size as usize];
+        rng.fill_bytes(&mut buf);
+        tb.mem(0).write(src, &buf);
+        let count = (scale.messages() * 2)
+            .min((64 << 20) / size as usize)
+            .max(32);
+        let t0 = tb.now();
+        let mut last = 0;
+        for _ in 0..count {
+            last = tb.post(
+                0,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: dst,
+                    local_vaddr: src,
+                    len: size,
+                },
+            );
+        }
+        let t1 = tb.run_until_complete(0, last);
+        goodput_gbps(u64::from(size) * count as u64, t0, t1)
+    };
+
+    let mut with_hll = Vec::new();
+    let mut plain = Vec::new();
+    for &size in &sizes {
+        with_hll.push(run_one(true, size, &mut rng));
+        plain.push(run_one(false, size, &mut rng));
+    }
+
+    Figure::new(
+        "Fig 13b: HLL as a bump-in-the-wire on the 100G NIC",
+        "payload",
+        sizes
+            .iter()
+            .map(|&s| {
+                if s >= 1024 {
+                    format!("{}KB", s / 1024)
+                } else {
+                    format!("{s}B")
+                }
+            })
+            .collect(),
+        "Gbit/s",
+    )
+    .push_series(Series::new("StRoM: Write+HLL", with_hll))
+    .push_series(Series::new("StRoM: Write", plain))
+}

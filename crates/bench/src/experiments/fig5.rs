@@ -1,0 +1,232 @@
+//! Figures 5 and 12: microbenchmarks of the raw RoCE NIC — latency,
+//! throughput, and message rate of one-sided READ and WRITE.
+//!
+//! §6.1: latency comes from a ping-pong ("the initiator writes data to the
+//! remote machine at a predefined address. The remote machine polls on
+//! this address … immediately writes the data back … the corresponding
+//! latency (RTT/2) is reported"); throughput sweeps 64 B – 1 MB; message
+//! rate uses back-to-back small messages. Figure 12 repeats all three at
+//! 100 G.
+
+use strom_nic::{Testbed, WorkRequest};
+use strom_sim::report::{Figure, Series};
+use strom_sim::stats::{goodput_gbps, msg_rate_mps, Samples};
+
+use super::Scale;
+
+/// Payload sizes of the latency figures (64 B – 1 KB).
+pub const LATENCY_SIZES: [u32; 5] = [64, 128, 256, 512, 1024];
+
+/// Payload sizes of the throughput figures (2^6 – 2^20).
+pub fn throughput_sizes() -> Vec<u32> {
+    (6..=20).step_by(2).map(|e| 1u32 << e).collect()
+}
+
+/// Payload sizes of the message-rate figures.
+pub const MSGRATE_SIZES: [u32; 4] = [64, 256, 1024, 4096];
+
+fn size_label(bytes: u32) -> String {
+    if bytes >= 1 << 20 {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Median write ping-pong (RTT/2) and read (full fetch) latency.
+pub fn latency(mut tb: Testbed, scale: Scale, title: &str) -> Figure {
+    let a_buf = tb.pin(0, 1 << 21);
+    let b_buf = tb.pin(1, 1 << 21);
+    let iters = scale.iterations();
+
+    let mut write_med = Vec::new();
+    let mut read_med = Vec::new();
+    for &size in &LATENCY_SIZES {
+        // --- WRITE ping-pong, RTT/2 (§6.1) ---
+        let mut samples = Samples::new();
+        for i in 0..iters {
+            let fill = vec![(i + 1) as u8; size as usize];
+            tb.mem(0).write(a_buf, &fill);
+            let w_b = tb.add_watch(1, b_buf, u64::from(size));
+            let t0 = tb.now();
+            tb.post(
+                0,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: b_buf,
+                    local_vaddr: a_buf,
+                    len: size,
+                },
+            );
+            tb.run_until_watch(w_b);
+            // The remote side detected the data; it pongs it back.
+            let w_a = tb.add_watch(0, a_buf + (1 << 20), u64::from(size));
+            tb.post(
+                1,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: a_buf + (1 << 20),
+                    local_vaddr: b_buf,
+                    len: size,
+                },
+            );
+            let t1 = tb.run_until_watch(w_a);
+            samples.record((t1 - t0) / 2);
+            tb.run_until_idle();
+        }
+        write_med.push(samples.summarize().expect("samples").median_us());
+
+        // --- READ: issue to data-in-local-memory ---
+        let mut samples = Samples::new();
+        tb.mem(1).write(b_buf, &vec![0x5au8; size as usize]);
+        for i in 0..iters {
+            let slot = a_buf + u64::from(size) * (i as u64 % 4);
+            let w = tb.add_watch(0, slot, u64::from(size));
+            let t0 = tb.now();
+            tb.post(
+                0,
+                1,
+                WorkRequest::Read {
+                    remote_vaddr: b_buf,
+                    local_vaddr: slot,
+                    len: size,
+                },
+            );
+            let t1 = tb.run_until_watch(w);
+            samples.record(t1 - t0);
+            tb.run_until_idle();
+        }
+        read_med.push(samples.summarize().expect("samples").median_us());
+    }
+
+    Figure::new(
+        format!("{title}: median latency of RDMA read and write"),
+        "payload",
+        LATENCY_SIZES.iter().map(|&s| size_label(s)).collect(),
+        "us",
+    )
+    .push_series(Series::new("StRoM: Write (RTT/2)", write_med))
+    .push_series(Series::new("StRoM: Read", read_med))
+}
+
+/// Streaming goodput: `messages` back-to-back operations per size.
+pub fn throughput(make: fn() -> Testbed, scale: Scale, title: &str, ideal: f64) -> Figure {
+    let sizes = throughput_sizes();
+    let mut write_gbps = Vec::new();
+    let mut read_gbps = Vec::new();
+    for &size in &sizes {
+        // Enough messages to amortize startup, but bounded total bytes.
+        let count = (scale.messages()).min((64 << 20) / size as usize).max(16);
+
+        // --- WRITE stream ---
+        let mut tb = make();
+        let src = tb.pin(0, u64::from(size).max(1 << 21));
+        let dst = tb.pin(1, u64::from(size).max(1 << 21));
+        tb.mem(0).write(src, &vec![7u8; size as usize]);
+        let t0 = tb.now();
+        let mut last = 0;
+        for _ in 0..count {
+            last = tb.post(
+                0,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: dst,
+                    local_vaddr: src,
+                    len: size,
+                },
+            );
+        }
+        let t1 = tb.run_until_complete(0, last);
+        write_gbps.push(goodput_gbps(u64::from(size) * count as u64, t0, t1));
+
+        // --- READ stream ---
+        let mut tb = make();
+        let dst = tb.pin(0, u64::from(size).max(1 << 21));
+        let src = tb.pin(1, u64::from(size).max(1 << 21));
+        tb.mem(1).write(src, &vec![9u8; size as usize]);
+        let t0 = tb.now();
+        let mut last = 0;
+        for _ in 0..count {
+            last = tb.post(
+                0,
+                1,
+                WorkRequest::Read {
+                    remote_vaddr: src,
+                    local_vaddr: dst,
+                    len: size,
+                },
+            );
+        }
+        let t1 = tb.run_until_complete(0, last);
+        read_gbps.push(goodput_gbps(u64::from(size) * count as u64, t0, t1));
+    }
+
+    Figure::new(
+        format!("{title}: throughput of RDMA read and write (ideal {ideal} Gbit/s)"),
+        "payload",
+        sizes.iter().map(|&s| size_label(s)).collect(),
+        "Gbit/s",
+    )
+    .push_series(Series::new("StRoM: Write", write_gbps))
+    .push_series(Series::new("StRoM: Read", read_gbps))
+}
+
+/// Message rate: small back-to-back messages.
+pub fn message_rate(make: fn() -> Testbed, scale: Scale, title: &str) -> Figure {
+    let mut write_rate = Vec::new();
+    let mut read_rate = Vec::new();
+    for &size in &MSGRATE_SIZES {
+        let count = scale.messages() * 4;
+
+        let mut tb = make();
+        let src = tb.pin(0, 1 << 21);
+        let dst = tb.pin(1, 1 << 21);
+        tb.mem(0).write(src, &vec![3u8; size as usize]);
+        let t0 = tb.now();
+        let mut last = 0;
+        for _ in 0..count {
+            last = tb.post(
+                0,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: dst,
+                    local_vaddr: src,
+                    len: size,
+                },
+            );
+        }
+        let t1 = tb.run_until_complete(0, last);
+        write_rate.push(msg_rate_mps(count as u64, t0, t1));
+
+        let mut tb = make();
+        let dst = tb.pin(0, 1 << 21);
+        let src = tb.pin(1, 1 << 21);
+        tb.mem(1).write(src, &vec![4u8; size as usize]);
+        let t0 = tb.now();
+        let mut last = 0;
+        for _ in 0..count {
+            last = tb.post(
+                0,
+                1,
+                WorkRequest::Read {
+                    remote_vaddr: src,
+                    local_vaddr: dst,
+                    len: size,
+                },
+            );
+        }
+        let t1 = tb.run_until_complete(0, last);
+        read_rate.push(msg_rate_mps(count as u64, t0, t1));
+    }
+
+    Figure::new(
+        format!("{title}: message rate of RDMA read and write"),
+        "payload",
+        MSGRATE_SIZES.iter().map(|&s| size_label(s)).collect(),
+        "Mio. msg/s",
+    )
+    .push_series(Series::new("StRoM: Write", write_rate))
+    .push_series(Series::new("StRoM: Read", read_rate))
+}

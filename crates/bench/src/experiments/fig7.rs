@@ -1,0 +1,109 @@
+//! Figure 7: traversing a remote linked list — RDMA READ (linear in list
+//! length), StRoM traversal kernel (sublinear: PCIe hops), TCP RPC (flat).
+//!
+//! §6.2: "We evaluate the latency of retrieving a value in the linked list
+//! by randomly picking a key and then retrieving its corresponding value
+//! by traversing the remote linked list. We vary the length of the list."
+//! Value size 64 B.
+
+use strom_baselines::{OneSidedClient, TcpRpcModel};
+use strom_kernels::layouts::{build_linked_list, value_pattern};
+use strom_kernels::traversal::{TraversalKernel, TraversalParams};
+use strom_nic::{RpcOpCode, WorkRequest};
+use strom_sim::report::{Figure, Series};
+use strom_sim::stats::Samples;
+use strom_sim::SimRng;
+
+use super::{testbed_10g, Scale};
+
+/// List lengths of the figure.
+pub const LIST_LENGTHS: [usize; 4] = [4, 8, 16, 32];
+
+/// Value size used throughout (the caption's 64 B).
+pub const VALUE_SIZE: u32 = 64;
+
+/// Runs the three approaches across the list lengths.
+pub fn run(scale: Scale) -> Figure {
+    let mut rng = SimRng::seed(0xF167);
+    let iters = scale.iterations();
+
+    let mut read_med = Vec::new();
+    let mut strom_med = Vec::new();
+    let mut tcp_med = Vec::new();
+
+    for &len in &LIST_LENGTHS {
+        let keys: Vec<u64> = (1..=len as u64).map(|i| i * 13).collect();
+
+        // --- RDMA READ baseline ---
+        let mut tb = testbed_10g();
+        let scratch = tb.pin(0, 1 << 21);
+        let server = tb.pin(1, 1 << 21);
+        let list = build_linked_list(tb.mem(1), server, &keys, VALUE_SIZE);
+        let mut client = OneSidedClient::new(0, 1, scratch, 1 << 21);
+        let mut samples = Samples::new();
+        for _ in 0..iters {
+            let key = keys[rng.below(len as u64) as usize];
+            let t0 = tb.now();
+            let (value, t1, _) = client.list_lookup(&mut tb, list.head, key, VALUE_SIZE);
+            assert_eq!(value, value_pattern(key, VALUE_SIZE));
+            samples.record(t1 - t0);
+            tb.run_until_idle();
+        }
+        read_med.push(samples.summarize().expect("samples").median_us());
+
+        // --- StRoM traversal kernel ---
+        let mut tb = testbed_10g();
+        let client_buf = tb.pin(0, 1 << 21);
+        let server = tb.pin(1, 1 << 21);
+        tb.deploy_kernel(1, Box::new(TraversalKernel::new()));
+        let list = build_linked_list(tb.mem(1), server, &keys, VALUE_SIZE);
+        let mut samples = Samples::new();
+        for i in 0..iters {
+            let key = keys[rng.below(len as u64) as usize];
+            let target = client_buf + (i as u64 % 8) * 1024;
+            let watch = tb.add_watch(0, target, u64::from(VALUE_SIZE));
+            let t0 = tb.now();
+            tb.post(
+                0,
+                1,
+                WorkRequest::Rpc {
+                    rpc_op: RpcOpCode::TRAVERSAL,
+                    params: TraversalParams::for_linked_list(list.head, key, VALUE_SIZE, target)
+                        .encode(),
+                },
+            );
+            let t1 = tb.run_until_watch(watch);
+            assert_eq!(
+                tb.mem(0).read(target, VALUE_SIZE as usize),
+                value_pattern(key, VALUE_SIZE)
+            );
+            samples.record(t1 - t0);
+            tb.run_until_idle();
+        }
+        strom_med.push(samples.summarize().expect("samples").median_us());
+
+        // --- TCP RPC baseline (server CPU traverses) ---
+        let mut mem = strom_mem::HostMemory::new();
+        let (base, _) = mem.pin(1 << 21).unwrap();
+        let list = build_linked_list(&mut mem, base, &keys, VALUE_SIZE);
+        let model = TcpRpcModel::new();
+        let mut samples = Samples::new();
+        for _ in 0..iters {
+            let key = keys[rng.below(len as u64) as usize];
+            let (value, lat) = model.list_lookup(&mut mem, list.head, key, VALUE_SIZE);
+            assert_eq!(value, value_pattern(key, VALUE_SIZE));
+            samples.record(lat);
+        }
+        tcp_med.push(samples.summarize().expect("samples").median_us());
+    }
+
+    Figure::new(
+        "Fig 7: traversing a remote linked list (value 64 B)",
+        "list length",
+        LIST_LENGTHS.iter().map(|l| l.to_string()).collect(),
+        "us",
+    )
+    .push_series(Series::new("RDMA READ", read_med))
+    .push_series(Series::new("StRoM", strom_med))
+    .push_series(Series::new("TCP-based RPC", tcp_med))
+}

@@ -1,0 +1,125 @@
+//! Figure 8: remote hash-table lookup latency vs value size.
+//!
+//! §6.2: Pilaf-layout hash table; "We assume that the hash table entry
+//! always matches the given key resulting in the best case of two RDMA
+//! read operations to retrieve the value. Using StRoM the latency can be
+//! reduced by around 5 µs per lookup due to saving one network round
+//! trip. The TCP-based RPC also requires only one round trip, but suffers
+//! from long message passing latency for value sizes larger than 256 B."
+
+use strom_baselines::{OneSidedClient, TcpRpcModel};
+use strom_kernels::layouts::{build_hash_table, value_pattern};
+use strom_kernels::traversal::{TraversalKernel, TraversalParams};
+use strom_nic::{RpcOpCode, WorkRequest};
+use strom_sim::report::{Figure, Series};
+use strom_sim::stats::Samples;
+use strom_sim::SimRng;
+
+use super::{testbed_10g, Scale};
+
+/// Value sizes of the figure (64 B – 4 KB).
+pub const VALUE_SIZES: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Hash-table entries (large enough that test keys never overflow
+/// buckets).
+const ENTRIES: u64 = 1024;
+
+/// Keys inserted per table.
+const KEYS: u64 = 64;
+
+fn size_label(bytes: u32) -> String {
+    if bytes >= 1024 {
+        format!("{}KB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Runs the three approaches across value sizes.
+pub fn run(scale: Scale) -> Figure {
+    let mut rng = SimRng::seed(0xF188);
+    let iters = scale.iterations();
+    let keys: Vec<u64> = (1..=KEYS).collect();
+
+    let mut read_med = Vec::new();
+    let mut strom_med = Vec::new();
+    let mut tcp_med = Vec::new();
+
+    for &vsize in &VALUE_SIZES {
+        // --- two RDMA READs ---
+        let mut tb = testbed_10g();
+        let scratch = tb.pin(0, 4 << 20);
+        let server = tb.pin(1, 4 << 20);
+        let ht = build_hash_table(tb.mem(1), server, ENTRIES, &keys, vsize);
+        let mut client = OneSidedClient::new(0, 1, scratch, 4 << 20);
+        let mut samples = Samples::new();
+        for _ in 0..iters {
+            let key = keys[rng.below(KEYS) as usize];
+            let t0 = tb.now();
+            let (value, t1) = client.hash_table_get(&mut tb, ht.entry_addr(key), key);
+            assert_eq!(value, value_pattern(key, vsize));
+            samples.record(t1 - t0);
+            tb.run_until_idle();
+        }
+        read_med.push(samples.summarize().expect("samples").median_us());
+
+        // --- StRoM traversal kernel (single round trip) ---
+        let mut tb = testbed_10g();
+        let client_buf = tb.pin(0, 4 << 20);
+        let server = tb.pin(1, 4 << 20);
+        tb.deploy_kernel(1, Box::new(TraversalKernel::new()));
+        let ht = build_hash_table(tb.mem(1), server, ENTRIES, &keys, vsize);
+        let mut samples = Samples::new();
+        for _ in 0..iters {
+            let key = keys[rng.below(KEYS) as usize];
+            let watch = tb.add_watch(0, client_buf, u64::from(vsize));
+            let t0 = tb.now();
+            tb.post(
+                0,
+                1,
+                WorkRequest::Rpc {
+                    rpc_op: RpcOpCode::TRAVERSAL,
+                    params: TraversalParams::for_hash_table(
+                        ht.entry_addr(key),
+                        key,
+                        vsize,
+                        client_buf,
+                    )
+                    .encode(),
+                },
+            );
+            let t1 = tb.run_until_watch(watch);
+            assert_eq!(
+                tb.mem(0).read(client_buf, vsize as usize),
+                value_pattern(key, vsize)
+            );
+            samples.record(t1 - t0);
+            tb.run_until_idle();
+        }
+        strom_med.push(samples.summarize().expect("samples").median_us());
+
+        // --- TCP RPC ---
+        let mut mem = strom_mem::HostMemory::new();
+        let (base, _) = mem.pin(4 << 20).unwrap();
+        let ht = build_hash_table(&mut mem, base, ENTRIES, &keys, vsize);
+        let model = TcpRpcModel::new();
+        let mut samples = Samples::new();
+        for _ in 0..iters {
+            let key = keys[rng.below(KEYS) as usize];
+            let (value, lat) = model.hash_table_get(&mut mem, ht.entry_addr(key), key);
+            assert_eq!(value, value_pattern(key, vsize));
+            samples.record(lat);
+        }
+        tcp_med.push(samples.summarize().expect("samples").median_us());
+    }
+
+    Figure::new(
+        "Fig 8: remote hash table lookup latency",
+        "value size",
+        VALUE_SIZES.iter().map(|&s| size_label(s)).collect(),
+        "us",
+    )
+    .push_series(Series::new("RDMA READ", read_med))
+    .push_series(Series::new("StRoM", strom_med))
+    .push_series(Series::new("TCP-based RPC", tcp_med))
+}

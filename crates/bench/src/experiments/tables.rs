@@ -1,0 +1,113 @@
+//! Tables: the op-code table (Table 1), the resource usage table
+//! (Table 3), and the §6.1 resource statements.
+
+use strom_resources::{DesignConfig, Device, ResourceModel, Usage};
+use strom_sim::report::render_table;
+use strom_wire::opcode::Opcode;
+
+/// Table 1: the five StRoM BTH op-codes, printed from the codec itself.
+pub fn table1() -> String {
+    let mut rows: Vec<(String, Vec<String>)> = Opcode::ALL
+        .iter()
+        .filter(|o| o.is_strom_extension())
+        .map(|o| {
+            let verb = if *o == Opcode::RpcParams {
+                "RPC"
+            } else {
+                "RPC WRITE"
+            };
+            (
+                format!("{:05b}", *o as u8),
+                vec![verb.to_string(), o.name().to_string()],
+            )
+        })
+        .collect();
+    rows.push((
+        "11101-11111".to_string(),
+        vec![String::new(), "reserved".to_string()],
+    ));
+    render_table(
+        "Table 1: Reliable Extended Transport Header op-codes for StRoM kernels",
+        &["verb", "description"],
+        &rows,
+    )
+}
+
+fn usage_row(u: &Usage) -> Vec<String> {
+    vec![
+        format!("{}K", u.luts / 1000),
+        format!("{:.1}%", u.lut_fraction * 100.0),
+        format!("{}", u.bram36),
+        format!("{:.1}%", u.bram_fraction * 100.0),
+        format!("{}K", u.ffs / 1000),
+        format!("{:.1}%", u.ff_fraction * 100.0),
+    ]
+}
+
+/// Table 3: resource usage of StRoM for 500 QPs on the VCU118.
+pub fn table3() -> String {
+    let m = ResourceModel::new();
+    let d = Device::xcvu9p();
+    let u10 = m.estimate(&DesignConfig::ten_gig(), d);
+    let u100 = m.estimate(&DesignConfig::hundred_gig(), d);
+    render_table(
+        "Table 3: resource usage of StRoM for 500 QPs on VCU118",
+        &["LUTs", "%", "BRAMs", "%", "FFs", "%"],
+        &[
+            ("10 G".to_string(), usage_row(&u10)),
+            ("100 G".to_string(), usage_row(&u100)),
+        ],
+    )
+}
+
+/// §6.1: the Virtex-7 percentages and the QP-count scaling claim.
+pub fn sec61() -> String {
+    let m = ResourceModel::new();
+    let d = Device::xc7vx690t();
+    let u500 = m.estimate(&DesignConfig::ten_gig(), d);
+    let mut cfg16k = DesignConfig::ten_gig();
+    cfg16k.num_qps = 16_000;
+    let u16k = m.estimate(&cfg16k, d);
+    let table = render_table(
+        "Sec 6.1: StRoM 10G on the XC7VX690T (paper: 24% logic, 9% BRAM at \
+         500 QPs; <1% more logic, 20% BRAM at 16,000 QPs)",
+        &["LUTs", "%", "BRAMs", "%", "FFs", "%"],
+        &[
+            ("500 QPs".to_string(), usage_row(&u500)),
+            ("16,000 QPs".to_string(), usage_row(&u16k)),
+        ],
+    );
+    format!(
+        "{table}logic growth 500 -> 16,000 QPs: {:.2} percentage points\n",
+        (u16k.lut_fraction - u500.lut_fraction) * 100.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_exactly_five_opcodes_plus_reserved() {
+        let t = table1();
+        assert!(t.contains("11000"));
+        assert!(t.contains("11100"));
+        assert!(t.contains("reserved"));
+        assert!(t.contains("RDMA RPC Params"));
+        assert!(t.contains("RDMA RPC WRITE Only"));
+    }
+
+    #[test]
+    fn table3_contains_paper_magnitudes() {
+        let t = table3();
+        assert!(t.contains("10 G"));
+        assert!(t.contains("100 G"));
+    }
+
+    #[test]
+    fn sec61_reports_scaling() {
+        let t = sec61();
+        assert!(t.contains("16,000 QPs"));
+        assert!(t.contains("logic growth"));
+    }
+}

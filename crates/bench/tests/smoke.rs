@@ -1,0 +1,83 @@
+//! Smoke tests keeping the experiment harness honest: every registered
+//! experiment must run and produce a well-formed report. The fast ones
+//! run at quick scale; the simulation-heavy ones are exercised by the
+//! `figures` binary and the workspace integration tests instead.
+
+use strom_bench::{all_experiments, run_experiment, Scale};
+
+#[test]
+fn registry_names_are_unique_and_nonempty() {
+    let reg = all_experiments();
+    assert!(
+        reg.len() >= 19,
+        "19 experiments registered, got {}",
+        reg.len()
+    );
+    let mut names: Vec<&str> = reg.iter().map(|(n, _)| *n).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), reg.len(), "duplicate experiment names");
+    assert!(reg.iter().all(|(_, d)| !d.is_empty()));
+}
+
+#[test]
+fn table_experiments_render() {
+    for name in ["table1", "table3", "sec61"] {
+        let report = run_experiment(name, Scale::Quick);
+        assert!(report.starts_with("## "), "{name} must render a heading");
+        assert!(report.lines().count() > 3, "{name} must have rows");
+    }
+}
+
+#[test]
+fn fig13a_model_matches_paper_points() {
+    let report = run_experiment("fig13a", Scale::Quick);
+    // The four thread counts appear with plausible values.
+    assert!(report.contains("4.64"), "single-thread point:\n{report}");
+    assert!(report.contains("CPU HLL"));
+}
+
+#[test]
+fn fig7_reproduces_ordering() {
+    let report = run_experiment("fig7", Scale::Quick);
+    assert!(report.contains("RDMA READ"));
+    assert!(report.contains("StRoM"));
+    assert!(report.contains("TCP-based RPC"));
+    // StRoM's worst point (length 32) stays below READ's.
+    let strom_row: Vec<f64> = parse_row(&report, "StRoM");
+    let read_row: Vec<f64> = parse_row(&report, "RDMA READ");
+    assert!(strom_row.last().unwrap() < read_row.last().unwrap());
+}
+
+#[test]
+fn fig9_overheads_are_ordered() {
+    let report = run_experiment("fig9", Scale::Quick);
+    let read: Vec<f64> = parse_row(&report, "READ");
+    let sw: Vec<f64> = parse_row(&report, "READ+SW");
+    let strom: Vec<f64> = parse_row(&report, "StRoM");
+    // At the largest object, SW costs more than the kernel, which costs
+    // more than the raw read.
+    let last = read.len() - 1;
+    assert!(sw[last] > strom[last]);
+    assert!(strom[last] > read[last]);
+    // The paper's bounds: SW ≤ +45 %, StRoM ≤ +12 %.
+    assert!(sw[last] / read[last] < 1.45);
+    assert!(strom[last] / read[last] < 1.12);
+}
+
+/// Extracts the numeric cells of the series whose label starts with
+/// `prefix` (exact label match on the first whitespace-delimited tokens).
+fn parse_row(report: &str, prefix: &str) -> Vec<f64> {
+    for line in report.lines() {
+        if line.starts_with(prefix) {
+            let nums: Vec<f64> = line
+                .split_whitespace()
+                .filter_map(|t| t.parse::<f64>().ok())
+                .collect();
+            if !nums.is_empty() {
+                return nums;
+            }
+        }
+    }
+    panic!("series '{prefix}' not found in:\n{report}");
+}

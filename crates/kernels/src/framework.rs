@@ -1,0 +1,260 @@
+//! The kernel hardware interface as an event/action protocol.
+//!
+//! Listing 1 of the paper fixes the interface of every StRoM kernel:
+//!
+//! ```c
+//! void strom_kernel(stream<ap_uint<24>>&  qpnIn,
+//!                   stream<ap_uint<256>>& paramIn,
+//!                   stream<net_axis<512>>& roceDataIn,
+//!                   stream<memCmd>&        dmaCmdOut,
+//!                   stream<net_axis<512>>& dmaDataOut,
+//!                   stream<net_axis<512>>& dmaDataIn,
+//!                   stream<roceMeta>&      roceMetaOut,
+//!                   stream<net_axis<512>>& roceDataOut);
+//! ```
+//!
+//! In the simulation those eight FIFOs become an event/action protocol:
+//! inbound streams (`qpnIn`+`paramIn`, `roceDataIn`, `dmaDataIn`) arrive as
+//! [`KernelEvent`]s, outbound streams (`dmaCmdOut`+`dmaDataOut`,
+//! `roceMetaOut`+`roceDataOut`) leave as [`KernelAction`]s. Kernels are
+//! pure state machines; the NIC's kernel fabric executes actions with
+//! PCIe/network timing and routes DMA read completions back by tag.
+
+use bytes::Bytes;
+
+use strom_wire::bth::Qpn;
+use strom_wire::opcode::RpcOpCode;
+
+/// An input to a kernel (one of the inbound streams of Listing 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// A new RPC invocation: `qpnIn` + `paramIn` (§5.1, RDMA RPC Params).
+    Invoke {
+        /// QP the request arrived on — responses go back on the same QP.
+        qpn: Qpn,
+        /// Parameter bytes from the RPC Params payload.
+        params: Bytes,
+    },
+    /// Payload from the network: `roceDataIn` (RDMA RPC WRITE stream, or a
+    /// tapped copy of ordinary WRITE payload for receive kernels).
+    RoceData {
+        /// QP the payload arrived on.
+        qpn: Qpn,
+        /// The data word(s).
+        data: Bytes,
+        /// Whether this is the last packet of the message.
+        last: bool,
+    },
+    /// Completion of a DMA read this kernel issued: `dmaDataIn`.
+    DmaData {
+        /// The tag of the [`KernelAction::DmaRead`] this answers.
+        tag: u32,
+        /// The bytes read from host memory.
+        data: Bytes,
+    },
+}
+
+/// An output of a kernel (one of the outbound streams of Listing 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelAction {
+    /// Issue a DMA read (`dmaCmdOut`); data returns as
+    /// [`KernelEvent::DmaData`] with the same tag.
+    DmaRead {
+        /// Kernel-chosen tag to match the completion.
+        tag: u32,
+        /// Virtual address in host memory.
+        vaddr: u64,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Issue a DMA write (`dmaCmdOut` + `dmaDataOut`).
+    DmaWrite {
+        /// Virtual address in host memory.
+        vaddr: u64,
+        /// The bytes to store.
+        data: Bytes,
+    },
+    /// Transmit data to the requesting node (`roceMetaOut` +
+    /// `roceDataOut`): an RDMA WRITE into the requester's memory —
+    /// "the metadata consists of the QPN, the target virtual address, and
+    /// the length" (§5.2).
+    RoceSend {
+        /// QP to respond on.
+        qpn: Qpn,
+        /// Target virtual address on the requester.
+        remote_vaddr: u64,
+        /// The response bytes.
+        data: Bytes,
+    },
+    /// The current invocation finished (for accounting; no wire effect).
+    Done,
+}
+
+/// A StRoM kernel: a sans-IO state machine behind the fixed interface.
+pub trait Kernel {
+    /// The RPC op-code requests are matched against (§5.1).
+    fn rpc_op(&self) -> RpcOpCode;
+
+    /// A short name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Feeds one event; returns the actions to execute, in order.
+    fn on_event(&mut self, event: KernelEvent) -> Vec<KernelAction>;
+
+    /// Pipeline processing cycles per 64 B word (II = 1 ⇒ 1; the paper
+    /// requires line-rate kernels, §3.4). Used by the timing model.
+    fn cycles_per_word(&self) -> u64 {
+        1
+    }
+
+    /// Downcasting access to the concrete kernel — how the host reads
+    /// kernel status (the paper's Controller exposes "status and
+    /// performance metrics" registers, §4.3).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Wraps a kernel with an artificial initiation interval — a kernel that
+/// needs `cycles` clock cycles per datapath word instead of 1.
+///
+/// §3.4 demands II = 1 ("the application's hardware implementation needs
+/// to consume the data stream at line rate. Otherwise, StRoM might affect
+/// the functionality of the original RDMA operation"); this wrapper exists
+/// to *violate* that condition on purpose, so the testbed and the
+/// `abl-slow-kernel` ablation can show the consequence.
+pub struct Throttled<K> {
+    inner: K,
+    cycles: u64,
+}
+
+impl<K: Kernel> Throttled<K> {
+    /// Wraps `inner` with an initiation interval of `cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn new(inner: K, cycles: u64) -> Self {
+        assert!(cycles > 0, "initiation interval must be at least 1");
+        Self { inner, cycles }
+    }
+
+    /// The wrapped kernel.
+    pub fn inner(&self) -> &K {
+        &self.inner
+    }
+}
+
+impl<K: Kernel + 'static> Kernel for Throttled<K> {
+    fn rpc_op(&self) -> RpcOpCode {
+        self.inner.rpc_op()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_event(&mut self, event: KernelEvent) -> Vec<KernelAction> {
+        self.inner.on_event(event)
+    }
+
+    fn cycles_per_word(&self) -> u64 {
+        self.cycles
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// The 8-byte error sentinel kernels write to the requester when an
+/// operation fails (e.g. traversal key not found, §5.1 "an error code is
+/// written back to the requesting node").
+pub const ERROR_SENTINEL: u64 = 0xFFFF_FFFF_DEAD_0000;
+
+/// Encodes an error code into the sentinel's low 16 bits.
+pub fn error_word(code: u16) -> [u8; 8] {
+    (ERROR_SENTINEL | u64::from(code)).to_le_bytes()
+}
+
+/// Decodes an error word; returns the code if the word is a sentinel.
+pub fn decode_error(word: u64) -> Option<u16> {
+    if word & 0xFFFF_FFFF_FFFF_0000 == ERROR_SENTINEL {
+        Some((word & 0xffff) as u16)
+    } else {
+        None
+    }
+}
+
+/// Error code: no key matched and the structure is exhausted.
+pub const ERR_NOT_FOUND: u16 = 1;
+/// Error code: malformed kernel parameters.
+pub const ERR_BAD_PARAMS: u16 = 2;
+/// Error code: consistency check failed permanently.
+pub const ERR_INCONSISTENT: u16 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_words_round_trip() {
+        for code in [ERR_NOT_FOUND, ERR_BAD_PARAMS, ERR_INCONSISTENT, 0xffff] {
+            let word = u64::from_le_bytes(error_word(code));
+            assert_eq!(decode_error(word), Some(code));
+        }
+    }
+
+    #[test]
+    fn ordinary_data_is_not_an_error() {
+        assert_eq!(decode_error(42), None);
+        assert_eq!(decode_error(0x1234_5678_9abc_def0), None);
+    }
+
+    /// A trivial kernel used to exercise the trait surface.
+    struct Echo;
+
+    impl Kernel for Echo {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn rpc_op(&self) -> RpcOpCode {
+            RpcOpCode(0xEE)
+        }
+
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+
+        fn on_event(&mut self, event: KernelEvent) -> Vec<KernelAction> {
+            match event {
+                KernelEvent::Invoke { qpn, params } => vec![
+                    KernelAction::RoceSend {
+                        qpn,
+                        remote_vaddr: 0,
+                        data: params,
+                    },
+                    KernelAction::Done,
+                ],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn echo_kernel_reflects_params() {
+        let mut k = Echo;
+        assert_eq!(k.cycles_per_word(), 1, "default is line rate");
+        let actions = k.on_event(KernelEvent::Invoke {
+            qpn: 3,
+            params: Bytes::from_static(b"ping"),
+        });
+        assert_eq!(
+            actions[0],
+            KernelAction::RoceSend {
+                qpn: 3,
+                remote_vaddr: 0,
+                data: Bytes::from_static(b"ping")
+            }
+        );
+        assert_eq!(actions[1], KernelAction::Done);
+    }
+}

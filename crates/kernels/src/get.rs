@@ -1,0 +1,302 @@
+//! The GET example kernel of Listing 2 (§5.2).
+//!
+//! The paper walks through this kernel to illustrate the programming
+//! model: `fetch_ht_entry` reads the hash-table entry, `parse_ht_entry`
+//! matches the key against the 3 buckets (unrolled in hardware) and
+//! requests the value, with `merge_read_cmds` / `split_read_data` gluing
+//! the DMA streams. "For simplicity, in this example we assume that there
+//! is always exactly one matching key in the hash table entry" — the same
+//! assumption holds here; the production-grade variant with misses and
+//! chaining is the traversal kernel (§6.2).
+//!
+//! The event-driven structure below mirrors those four HLS functions: the
+//! `Invoke` arm is `fetch_ht_entry`, the first `DmaData` arm is
+//! `parse_ht_entry`, and the framework's tag routing plays the role of
+//! `merge_read_cmds`/`split_read_data`.
+
+use bytes::Bytes;
+
+use strom_wire::bth::Qpn;
+use strom_wire::opcode::RpcOpCode;
+
+use crate::framework::{
+    error_word, Kernel, KernelAction, KernelEvent, ERR_BAD_PARAMS, ERR_NOT_FOUND,
+};
+use crate::layouts::{ht_layout, ELEMENT_SIZE};
+
+/// Parameters of the GET kernel (Listing 3's `getParams`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetParams {
+    /// Address of the hash-table entry (the host computed the hash).
+    pub entry_addr: u64,
+    /// The lookup key.
+    pub key: u64,
+    /// Requester-side address the value is written to.
+    pub target_address: u64,
+}
+
+/// Encoded parameter length in bytes.
+pub const GET_PARAMS_LEN: usize = 24;
+
+impl GetParams {
+    /// Encodes into the RPC Params payload.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::with_capacity(GET_PARAMS_LEN);
+        out.extend_from_slice(&self.entry_addr.to_le_bytes());
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.extend_from_slice(&self.target_address.to_le_bytes());
+        Bytes::from(out)
+    }
+
+    /// Decodes from the RPC Params payload.
+    pub fn decode(buf: &[u8]) -> Option<GetParams> {
+        if buf.len() < GET_PARAMS_LEN {
+            return None;
+        }
+        Some(GetParams {
+            entry_addr: u64::from_le_bytes(buf[0..8].try_into().expect("sized")),
+            key: u64::from_le_bytes(buf[8..16].try_into().expect("sized")),
+            target_address: u64::from_le_bytes(buf[16..24].try_into().expect("sized")),
+        })
+    }
+}
+
+/// DMA tag for the hash-table entry read (`htCmdFifo`).
+const TAG_ENTRY: u32 = 1;
+/// DMA tag for the value read (`valueCmdFifo`).
+const TAG_VALUE: u32 = 2;
+
+#[derive(Debug)]
+enum State {
+    Idle,
+    /// Waiting for the entry (`htEntryFifo` in Listing 2).
+    FetchingEntry {
+        qpn: Qpn,
+        params: GetParams,
+    },
+    /// Waiting for the value data.
+    FetchingValue {
+        qpn: Qpn,
+        target_address: u64,
+    },
+}
+
+/// The GET kernel FSM.
+#[derive(Debug)]
+pub struct GetKernel {
+    state: State,
+}
+
+impl Default for GetKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GetKernel {
+    /// Creates an idle kernel.
+    pub fn new() -> Self {
+        Self { state: State::Idle }
+    }
+}
+
+impl Kernel for GetKernel {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn rpc_op(&self) -> RpcOpCode {
+        RpcOpCode::GET
+    }
+
+    fn name(&self) -> &'static str {
+        "get"
+    }
+
+    fn on_event(&mut self, event: KernelEvent) -> Vec<KernelAction> {
+        match event {
+            // fetch_ht_entry (Listing 3): consume qpnIn + paramIn, issue
+            // the 64 B entry read.
+            KernelEvent::Invoke { qpn, params } => {
+                let Some(p) = GetParams::decode(&params) else {
+                    return vec![
+                        KernelAction::RoceSend {
+                            qpn,
+                            remote_vaddr: 0,
+                            data: Bytes::copy_from_slice(&error_word(ERR_BAD_PARAMS)),
+                        },
+                        KernelAction::Done,
+                    ];
+                };
+                self.state = State::FetchingEntry { qpn, params: p };
+                vec![KernelAction::DmaRead {
+                    tag: TAG_ENTRY,
+                    vaddr: p.entry_addr,
+                    len: ELEMENT_SIZE as u32,
+                }]
+            }
+            KernelEvent::DmaData { tag, data } => {
+                match std::mem::replace(&mut self.state, State::Idle) {
+                    // parse_ht_entry (Listing 4): match the key against
+                    // the 3 buckets concurrently, emit the value command
+                    // and the RoCE metadata.
+                    State::FetchingEntry { qpn, params } if tag == TAG_ENTRY => {
+                        let mut matched: Option<(u64, u32)> = None;
+                        for pos in ht_layout::BUCKET_KEY_POS {
+                            let off = usize::from(pos) * 4;
+                            let key =
+                                u64::from_le_bytes(data[off..off + 8].try_into().expect("sized"));
+                            if key == params.key {
+                                let ptr = u64::from_le_bytes(
+                                    data[off + 8..off + 16].try_into().expect("sized"),
+                                );
+                                let len = u32::from_le_bytes(
+                                    data[off + 16..off + 20].try_into().expect("sized"),
+                                );
+                                matched = Some((ptr, len));
+                                break;
+                            }
+                        }
+                        // The paper's simplifying assumption is that a
+                        // match always exists; report cleanly if not.
+                        let Some((value_ptr, value_len)) = matched else {
+                            return vec![
+                                KernelAction::RoceSend {
+                                    qpn,
+                                    remote_vaddr: params.target_address,
+                                    data: Bytes::copy_from_slice(&error_word(ERR_NOT_FOUND)),
+                                },
+                                KernelAction::Done,
+                            ];
+                        };
+                        self.state = State::FetchingValue {
+                            qpn,
+                            target_address: params.target_address,
+                        };
+                        vec![KernelAction::DmaRead {
+                            tag: TAG_VALUE,
+                            vaddr: value_ptr,
+                            len: value_len,
+                        }]
+                    }
+                    // split_read_data: the value flows out to the network.
+                    State::FetchingValue {
+                        qpn,
+                        target_address,
+                    } if tag == TAG_VALUE => vec![
+                        KernelAction::RoceSend {
+                            qpn,
+                            remote_vaddr: target_address,
+                            data,
+                        },
+                        KernelAction::Done,
+                    ],
+                    other => {
+                        self.state = other;
+                        Vec::new()
+                    }
+                }
+            }
+            KernelEvent::RoceData { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layouts::{build_hash_table, value_pattern};
+    use strom_mem::{HostMemory, HUGE_PAGE_SIZE};
+
+    fn run(
+        kernel: &mut GetKernel,
+        mem: &mut HostMemory,
+        params: GetParams,
+    ) -> (Vec<KernelAction>, u32) {
+        let mut reads = 0;
+        let mut actions = kernel.on_event(KernelEvent::Invoke {
+            qpn: 4,
+            params: params.encode(),
+        });
+        while let Some(KernelAction::DmaRead { tag, vaddr, len }) = actions.first() {
+            reads += 1;
+            let data = Bytes::from(mem.read(*vaddr, *len as usize));
+            actions = kernel.on_event(KernelEvent::DmaData { tag: *tag, data });
+        }
+        (actions, reads)
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let p = GetParams {
+            entry_addr: 1,
+            key: 2,
+            target_address: 3,
+        };
+        assert_eq!(GetParams::decode(&p.encode()), Some(p));
+        assert!(GetParams::decode(&[0u8; 8]).is_none());
+    }
+
+    #[test]
+    fn get_retrieves_the_value_in_two_reads() {
+        let mut m = HostMemory::new();
+        let (base, _) = m.pin(HUGE_PAGE_SIZE).unwrap();
+        let keys: Vec<u64> = (1..=20).collect();
+        let ht = build_hash_table(&mut m, base, 64, &keys, 96);
+        let mut k = GetKernel::new();
+        for &key in &keys {
+            let (actions, reads) = run(
+                &mut k,
+                &mut m,
+                GetParams {
+                    entry_addr: ht.entry_addr(key),
+                    key,
+                    target_address: 0x6000,
+                },
+            );
+            assert_eq!(reads, 2, "Listing 2: entry + value");
+            match &actions[0] {
+                KernelAction::RoceSend {
+                    qpn,
+                    remote_vaddr,
+                    data,
+                } => {
+                    assert_eq!((*qpn, *remote_vaddr), (4, 0x6000));
+                    assert_eq!(&data[..], value_pattern(key, 96));
+                }
+                other => panic!("expected RoceSend, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_key_reports_not_found() {
+        let mut m = HostMemory::new();
+        let (base, _) = m.pin(HUGE_PAGE_SIZE).unwrap();
+        let ht = build_hash_table(&mut m, base, 16, &[1, 2, 3], 16);
+        let mut k = GetKernel::new();
+        let (actions, reads) = run(
+            &mut k,
+            &mut m,
+            GetParams {
+                entry_addr: ht.entry_addr(999),
+                key: 999,
+                target_address: 0,
+            },
+        );
+        assert_eq!(reads, 1);
+        assert!(matches!(&actions[0], KernelAction::RoceSend { data, .. }
+            if crate::framework::decode_error(u64::from_le_bytes(data[..8].try_into().unwrap()))
+                == Some(ERR_NOT_FOUND)));
+    }
+
+    #[test]
+    fn malformed_params_error_out() {
+        let mut k = GetKernel::new();
+        let actions = k.on_event(KernelEvent::Invoke {
+            qpn: 1,
+            params: Bytes::from_static(b"xx"),
+        });
+        assert!(matches!(actions[0], KernelAction::RoceSend { .. }));
+        assert_eq!(actions[1], KernelAction::Done);
+    }
+}

@@ -1,0 +1,54 @@
+//! The StRoM kernel framework, the paper's four kernels, and their
+//! algorithm substrates.
+//!
+//! §5 of the paper defines a strict hardware interface (Listing 1 /
+//! Figure 4) between a kernel and the NIC: two metadata inputs (`qpnIn`,
+//! `paramIn`), RoCE data in/out, DMA command/data streams, and RoCE
+//! metadata out. [`framework`] reproduces that interface as an
+//! event/action protocol so kernels stay **sans-IO**: a kernel is a state
+//! machine that consumes [`framework::KernelEvent`]s and emits
+//! [`framework::KernelAction`]s, and the NIC simulation executes the
+//! actions with PCIe/network timing — exactly as the HLS data-flow modules
+//! execute behind FIFOs on the FPGA.
+//!
+//! The four kernels evaluated in the paper:
+//!
+//! - [`traversal`]: pointer chasing over remote data structures (§6.2,
+//!   Table 2).
+//! - [`consistency`]: CRC64-verified object reads with NIC-side retry
+//!   (§6.3).
+//! - [`shuffle`]: radix partitioning of incoming RDMA streams (§6.4).
+//! - [`hll`]: HyperLogLog cardinality estimation at line rate (§7.2).
+//!
+//! Plus two stream kernels realizing the other operations §1 names
+//! ("filtering, aggregation, partitioning, and gathering of statistics"):
+//! [`filter`] (selection push-down with an on-NIC result region) and
+//! [`aggregate`] (count/sum/min/max reduction).
+//!
+//! Plus [`get`]: the pedagogical GET kernel of Listing 2, and the host-side
+//! data-structure [`layouts`] (linked lists, Pilaf-style hash tables,
+//! CRC-stamped object stores) the experiments operate on.
+
+pub mod aggregate;
+pub mod consistency;
+pub mod crc64;
+pub mod filter;
+pub mod framework;
+pub mod get;
+pub mod hash;
+pub mod hll;
+pub mod hll_kernel;
+pub mod layouts;
+pub mod radix;
+pub mod shuffle;
+pub mod traversal;
+
+pub use aggregate::{Aggregate, AggregateKernel, AggregateParams};
+pub use consistency::{ConsistencyKernel, ConsistencyParams};
+pub use filter::{FilterKernel, FilterParams};
+pub use framework::{Kernel, KernelAction, KernelEvent};
+pub use get::{GetKernel, GetParams};
+pub use hll::HyperLogLog;
+pub use hll_kernel::HllKernel;
+pub use shuffle::{ShuffleKernel, ShuffleParams};
+pub use traversal::{Predicate, TraversalKernel, TraversalParams};

@@ -1,0 +1,220 @@
+//! Property-based tests of the kernels against reference interpreters.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use strom_kernels::crc64::{crc64, Crc64};
+use strom_kernels::framework::{Kernel, KernelAction, KernelEvent};
+use strom_kernels::hll::HyperLogLog;
+use strom_kernels::layouts::{build_linked_list, value_pattern};
+use strom_kernels::shuffle::{encode_histogram, reference_partition, ShuffleKernel, ShuffleParams};
+use strom_kernels::traversal::{Predicate, TraversalKernel, TraversalParams};
+use strom_mem::{HostMemory, HUGE_PAGE_SIZE};
+
+/// Drives a kernel against host memory until it stops issuing DMA reads.
+fn drive(
+    kernel: &mut dyn Kernel,
+    mem: &mut HostMemory,
+    first: Vec<KernelAction>,
+) -> Vec<KernelAction> {
+    let mut actions = first;
+    loop {
+        match actions.first() {
+            Some(KernelAction::DmaRead { tag, vaddr, len }) => {
+                let data = Bytes::from(mem.read(*vaddr, *len as usize));
+                actions = kernel.on_event(KernelEvent::DmaData { tag: *tag, data });
+            }
+            _ => return actions,
+        }
+    }
+}
+
+/// Reference interpreter for the traversal kernel over a linked list.
+fn reference_list_lookup(keys: &[u64], probe: u64, predicate: Predicate) -> Option<usize> {
+    keys.iter().position(|&k| predicate.matches(k, probe))
+}
+
+proptest! {
+    /// The traversal kernel agrees with a reference interpreter on random
+    /// linked lists, probes, and predicates.
+    #[test]
+    fn traversal_matches_reference(
+        raw_keys in prop::collection::hash_set(1u64..1_000_000, 1..24),
+        probe in 1u64..1_000_000,
+        pred_idx in 0u8..4,
+    ) {
+        let keys: Vec<u64> = raw_keys.into_iter().collect();
+        let predicate = Predicate::from_u8(pred_idx).unwrap();
+        let mut mem = HostMemory::new();
+        let (base, _) = mem.pin(HUGE_PAGE_SIZE).unwrap();
+        let list = build_linked_list(&mut mem, base, &keys, 32);
+
+        let mut params = TraversalParams::for_linked_list(list.head, probe, 32, 0x9000);
+        params.predicate = predicate;
+        let mut kernel = TraversalKernel::new();
+        let first = kernel.on_event(KernelEvent::Invoke {
+            qpn: 1,
+            params: params.encode(),
+        });
+        let actions = drive(&mut kernel, &mut mem, first);
+        let expected = reference_list_lookup(&keys, probe, predicate);
+        match (&actions[0], expected) {
+            (KernelAction::RoceSend { data, .. }, Some(idx)) => {
+                prop_assert_eq!(&data[..], &value_pattern(keys[idx], 32)[..]);
+                prop_assert_eq!(kernel.last_hops() as usize, idx + 1);
+            }
+            (KernelAction::RoceSend { data, .. }, None) => {
+                let word = u64::from_le_bytes(data[..8].try_into().unwrap());
+                prop_assert!(
+                    strom_kernels::framework::decode_error(word).is_some(),
+                    "miss must produce an error sentinel"
+                );
+            }
+            (other, _) => {
+                return Err(TestCaseError::fail(format!("unexpected action {other:?}")));
+            }
+        }
+    }
+
+    /// Shuffle kernel output equals the reference partitioner for any
+    /// input and any packetization.
+    #[test]
+    fn shuffle_matches_reference(
+        values in prop::collection::vec(any::<u64>(), 0..500),
+        parts_pow in 0u32..8,
+        chunk in 1usize..700,
+    ) {
+        let num_partitions = 1u32 << parts_pow;
+        let mut kernel = ShuffleKernel::new();
+        // Configure through the real histogram path.
+        let bases: Vec<(u64, u32)> = (0..u64::from(num_partitions))
+            .map(|i| (i << 20, 1 << 20))
+            .collect();
+        let histogram = encode_histogram(&bases);
+        let a = kernel.on_event(KernelEvent::Invoke {
+            qpn: 1,
+            params: ShuffleParams { histogram_addr: 0, num_partitions }.encode(),
+        });
+        let is_histogram_read = matches!(a[0], KernelAction::DmaRead { .. });
+        prop_assert!(is_histogram_read);
+        kernel.on_event(KernelEvent::DmaData { tag: 1, data: Bytes::from(histogram) });
+
+        // Feed the tuple bytes in arbitrary-size chunks.
+        let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut fed = 0usize;
+        if data.is_empty() {
+            let actions = kernel.on_event(KernelEvent::RoceData {
+                qpn: 1, data: Bytes::new(), last: true,
+            });
+            for act in actions {
+                if let KernelAction::DmaWrite { vaddr, data } = act {
+                    writes.push((vaddr, data.to_vec()));
+                }
+            }
+        }
+        for piece in data.chunks(chunk) {
+            fed += piece.len();
+            let actions = kernel.on_event(KernelEvent::RoceData {
+                qpn: 1,
+                data: Bytes::copy_from_slice(piece),
+                last: fed == data.len(),
+            });
+            for act in actions {
+                if let KernelAction::DmaWrite { vaddr, data } = act {
+                    writes.push((vaddr, data.to_vec()));
+                }
+            }
+        }
+
+        // Reconstruct partitions from the write stream.
+        let mut got: Vec<Vec<u64>> = vec![Vec::new(); num_partitions as usize];
+        let mut per_part: Vec<Vec<(u64, Vec<u8>)>> = vec![Vec::new(); num_partitions as usize];
+        for (addr, bytes) in writes {
+            per_part[(addr >> 20) as usize].push((addr, bytes));
+        }
+        for (pid, mut ws) in per_part.into_iter().enumerate() {
+            ws.sort_by_key(|(a, _)| *a);
+            let mut cursor = (pid as u64) << 20;
+            for (addr, bytes) in ws {
+                prop_assert_eq!(addr, cursor, "writes must be contiguous");
+                cursor += bytes.len() as u64;
+                for c in bytes.chunks_exact(8) {
+                    got[pid].push(u64::from_le_bytes(c.try_into().unwrap()));
+                }
+            }
+        }
+        prop_assert_eq!(got, reference_partition(&values, num_partitions as usize));
+        prop_assert_eq!(kernel.values(), values.len() as u64);
+        prop_assert_eq!(kernel.overflowed(), 0);
+    }
+
+    /// HLL estimates stay within 6 standard errors for arbitrary streams
+    /// (a generous bound so the test is not flaky, still catching gross
+    /// estimator bugs).
+    #[test]
+    fn hll_error_bound(seed in any::<u64>(), n in 100u64..50_000) {
+        let mut h = HyperLogLog::new(12);
+        let mut x = seed | 1;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..n {
+            // A weak LCG stream with deliberate duplicates.
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = x >> 16 & 0xffff_ffff;
+            distinct.insert(v);
+            h.add_u64(v);
+        }
+        let truth = distinct.len() as f64;
+        let err = (h.estimate() - truth).abs() / truth;
+        prop_assert!(
+            err < 6.0 * h.standard_error(),
+            "relative error {err} vs bound {}",
+            6.0 * h.standard_error()
+        );
+    }
+
+    /// HLL merge commutes and equals the union.
+    #[test]
+    fn hll_merge_commutes(
+        xs in prop::collection::vec(any::<u64>(), 0..2000),
+        ys in prop::collection::vec(any::<u64>(), 0..2000),
+    ) {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        let mut union = HyperLogLog::new(10);
+        for &x in &xs { a.add_u64(x); union.add_u64(x); }
+        for &y in &ys { b.add_u64(y); union.add_u64(y); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.estimate(), ba.estimate());
+        prop_assert_eq!(ab.estimate(), union.estimate());
+    }
+
+    /// Streaming CRC64 equals one-shot for any chunking.
+    #[test]
+    fn crc64_chunking_invariance(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        chunk in 1usize..512,
+    ) {
+        let mut c = Crc64::new();
+        for piece in data.chunks(chunk) {
+            c.update(piece);
+        }
+        prop_assert_eq!(c.finish(), crc64(&data));
+    }
+
+    /// CRC64 detects any single-byte corruption.
+    #[test]
+    fn crc64_detects_single_byte_changes(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        idx in any::<prop::sample::Index>(),
+        delta in 1u8..=255,
+    ) {
+        let mut corrupted = data.clone();
+        let i = idx.index(corrupted.len());
+        corrupted[i] = corrupted[i].wrapping_add(delta);
+        prop_assert_ne!(crc64(&corrupted), crc64(&data));
+    }
+}

@@ -1,0 +1,104 @@
+//! DMA command descriptors.
+//!
+//! A StRoM kernel issues local DMA commands over a 12 B bus (Figure 4:
+//! "a 12 B bus to issue local DMA commands"), each consisting of "a
+//! virtual address and length" (§5.2). The same descriptor shape is used
+//! by the RoCE stack's direct data path.
+
+/// Transfer direction, from the host's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaDirection {
+    /// Host memory → NIC (card reads host memory).
+    HostToCard,
+    /// NIC → host memory (card writes host memory).
+    CardToHost,
+}
+
+/// A DMA command: virtual address + length + direction.
+///
+/// The 12 B wire encoding packs a 48-bit virtual address, a 23-bit length
+/// and a direction bit (matching the `memCmd` HLS struct of Listing 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaCmd {
+    /// Virtual address in pinned host memory.
+    pub vaddr: u64,
+    /// Transfer length in bytes.
+    pub len: u32,
+    /// Transfer direction.
+    pub direction: DmaDirection,
+}
+
+impl DmaCmd {
+    /// A host-memory read (card fetches data).
+    pub fn read(vaddr: u64, len: u32) -> Self {
+        DmaCmd {
+            vaddr,
+            len,
+            direction: DmaDirection::HostToCard,
+        }
+    }
+
+    /// A host-memory write (card stores data).
+    pub fn write(vaddr: u64, len: u32) -> Self {
+        DmaCmd {
+            vaddr,
+            len,
+            direction: DmaDirection::CardToHost,
+        }
+    }
+
+    /// Encodes into the 12-byte command bus format.
+    pub fn encode(&self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[0..8].copy_from_slice(&(self.vaddr & ((1 << 48) - 1)).to_le_bytes());
+        let dir_bit = match self.direction {
+            DmaDirection::HostToCard => 0u32,
+            DmaDirection::CardToHost => 1 << 31,
+        };
+        out[8..12].copy_from_slice(&((self.len & 0x7fff_ffff) | dir_bit).to_le_bytes());
+        out
+    }
+
+    /// Decodes from the 12-byte command bus format.
+    pub fn decode(buf: &[u8; 12]) -> Self {
+        let vaddr = u64::from_le_bytes(buf[0..8].try_into().expect("sized slice"));
+        let word = u32::from_le_bytes(buf[8..12].try_into().expect("sized slice"));
+        DmaCmd {
+            vaddr,
+            len: word & 0x7fff_ffff,
+            direction: if word & (1 << 31) != 0 {
+                DmaDirection::CardToHost
+            } else {
+                DmaDirection::HostToCard
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for cmd in [
+            DmaCmd::read(0x1234_5678_9abc, 64),
+            DmaCmd::write(0, 0x7fff_ffff),
+        ] {
+            assert_eq!(DmaCmd::decode(&cmd.encode()), cmd);
+        }
+    }
+
+    #[test]
+    fn constructors_set_direction() {
+        assert_eq!(DmaCmd::read(0, 1).direction, DmaDirection::HostToCard);
+        assert_eq!(DmaCmd::write(0, 1).direction, DmaDirection::CardToHost);
+    }
+
+    #[test]
+    fn vaddr_truncates_to_48_bits() {
+        let cmd = DmaCmd::read(0xffff_0000_0000_0001, 8);
+        let decoded = DmaCmd::decode(&cmd.encode());
+        assert_eq!(decoded.vaddr, 0xffff_0000_0000_0001 & ((1 << 48) - 1));
+    }
+}

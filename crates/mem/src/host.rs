@@ -1,0 +1,319 @@
+//! The host DRAM and a single-process virtual address space.
+//!
+//! §4.3: "To enable direct access to the host memory from the FPGA, memory
+//! has to be pinned in advance. To do so the application passes a memory
+//! region to the driver which pins every page and also returns its
+//! physical addresses." §4.2 adds: "Even though all the huge pages
+//! combined build a single contiguous virtual address space, physically
+//! they might not be contiguous."
+//!
+//! [`HostMemory`] reproduces both facts: `pin` allocates a virtually
+//! contiguous region whose 2 MB physical frames are deliberately scattered
+//! (deterministically), and returns the frame addresses the driver would
+//! hand to the NIC's TLB. Physical frames are allocated lazily so large
+//! experiments only pay for pages they touch.
+
+use std::collections::HashMap;
+
+/// Size of one huge page: 2 MB (§4.2).
+pub const HUGE_PAGE_SIZE: u64 = 2 * 1024 * 1024;
+
+/// Virtual base address of the first pinned region; nonzero so that a
+/// stray zero address faults loudly.
+const VADDR_BASE: u64 = 0x0001_0000_0000;
+
+/// Errors from pinning memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinError {
+    /// Requested length is zero.
+    EmptyRegion,
+}
+
+impl std::fmt::Display for PinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinError::EmptyRegion => write!(f, "cannot pin an empty region"),
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// The host DRAM plus the process's virtual→physical page mappings.
+///
+/// # Examples
+///
+/// ```
+/// use strom_mem::HostMemory;
+/// let mut mem = HostMemory::new();
+/// let (vaddr, physical_pages) = mem.pin(1 << 20).unwrap();
+/// assert!(!physical_pages.is_empty());
+/// mem.write(vaddr, b"pinned bytes");
+/// assert_eq!(mem.read(vaddr, 12), b"pinned bytes");
+/// ```
+#[derive(Debug, Default)]
+pub struct HostMemory {
+    /// Physical frames, keyed by frame number, allocated lazily.
+    frames: HashMap<u64, Box<[u8]>>,
+    /// Virtual page number → physical frame number for pinned pages.
+    mappings: HashMap<u64, u64>,
+    /// Next virtual address to hand out (bump allocator, page aligned).
+    next_vaddr: u64,
+    /// Next physical frame number to hand out.
+    next_pfn: u64,
+}
+
+impl HostMemory {
+    /// Creates an empty host memory.
+    pub fn new() -> Self {
+        Self {
+            frames: HashMap::new(),
+            mappings: HashMap::new(),
+            next_vaddr: VADDR_BASE,
+            next_pfn: 1,
+        }
+    }
+
+    /// Pins a region of `len` bytes.
+    ///
+    /// Returns the virtual base address and the physical address of each
+    /// 2 MB page, in virtual order — what the driver returns to populate
+    /// the NIC TLB (§4.3). Physical frames are intentionally
+    /// non-contiguous: consecutive virtual pages receive frame numbers
+    /// with a stride, reproducing the fragmentation that makes TLB
+    /// boundary-splitting necessary.
+    pub fn pin(&mut self, len: u64) -> Result<(u64, Vec<u64>), PinError> {
+        if len == 0 {
+            return Err(PinError::EmptyRegion);
+        }
+        let pages = len.div_ceil(HUGE_PAGE_SIZE);
+        let base = self.next_vaddr;
+        self.next_vaddr += pages * HUGE_PAGE_SIZE;
+        let mut phys = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            // Scatter: stride-3 frame numbers, so virtually adjacent pages
+            // are physically 6 MB apart.
+            let pfn = self.next_pfn + i * 3;
+            let vpn = (base / HUGE_PAGE_SIZE) + i;
+            self.mappings.insert(vpn, pfn);
+            phys.push(pfn * HUGE_PAGE_SIZE);
+        }
+        self.next_pfn += pages * 3;
+        Ok((base, phys))
+    }
+
+    /// Translates a virtual address to physical via the process page
+    /// table. Returns `None` for unpinned addresses.
+    pub fn virt_to_phys(&self, vaddr: u64) -> Option<u64> {
+        let vpn = vaddr / HUGE_PAGE_SIZE;
+        let offset = vaddr % HUGE_PAGE_SIZE;
+        self.mappings
+            .get(&vpn)
+            .map(|pfn| pfn * HUGE_PAGE_SIZE + offset)
+    }
+
+    fn frame_mut(&mut self, pfn: u64) -> &mut [u8] {
+        self.frames
+            .entry(pfn)
+            .or_insert_with(|| vec![0u8; HUGE_PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes from *physical* address `paddr` — the DMA
+    /// engine's view of memory. The range must not cross a frame boundary
+    /// (the TLB guarantees this by splitting commands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a 2 MB frame boundary; that would be a
+    /// TLB bug, not a data condition.
+    pub fn phys_read(&mut self, paddr: u64, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let pfn = paddr / HUGE_PAGE_SIZE;
+        let offset = (paddr % HUGE_PAGE_SIZE) as usize;
+        assert!(
+            offset + buf.len() <= HUGE_PAGE_SIZE as usize,
+            "physical access crosses a frame boundary (TLB must split)"
+        );
+        let frame = self.frame_mut(pfn);
+        buf.copy_from_slice(&frame[offset..offset + buf.len()]);
+    }
+
+    /// Writes `data` at *physical* address `paddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a 2 MB frame boundary.
+    pub fn phys_write(&mut self, paddr: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let pfn = paddr / HUGE_PAGE_SIZE;
+        let offset = (paddr % HUGE_PAGE_SIZE) as usize;
+        assert!(
+            offset + data.len() <= HUGE_PAGE_SIZE as usize,
+            "physical access crosses a frame boundary (TLB must split)"
+        );
+        let frame = self.frame_mut(pfn);
+        frame[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads from a *virtual* address — the CPU's view. Spanning pages is
+    /// fine here; the MMU handles it transparently for the CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics when touching unpinned memory — a segfault in the real
+    /// system.
+    pub fn read(&mut self, vaddr: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        let mut done = 0;
+        while done < len {
+            let cur = vaddr + done as u64;
+            let paddr = self
+                .virt_to_phys(cur)
+                .unwrap_or_else(|| panic!("segfault: read of unpinned address {cur:#x}"));
+            let in_page = (HUGE_PAGE_SIZE - cur % HUGE_PAGE_SIZE) as usize;
+            let chunk = in_page.min(len - done);
+            let (head, _) = out.split_at_mut(done + chunk);
+            self.phys_read(paddr, &mut head[done..]);
+            done += chunk;
+        }
+        out
+    }
+
+    /// Writes to a *virtual* address — the CPU's view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when touching unpinned memory.
+    pub fn write(&mut self, vaddr: u64, data: &[u8]) {
+        let mut done = 0;
+        while done < data.len() {
+            let cur = vaddr + done as u64;
+            let paddr = self
+                .virt_to_phys(cur)
+                .unwrap_or_else(|| panic!("segfault: write of unpinned address {cur:#x}"));
+            let in_page = (HUGE_PAGE_SIZE - cur % HUGE_PAGE_SIZE) as usize;
+            let chunk = in_page.min(data.len() - done);
+            self.phys_write(paddr, &data[done..done + chunk]);
+            done += chunk;
+        }
+    }
+
+    /// Convenience: reads a little-endian `u64` at `vaddr`.
+    pub fn read_u64(&mut self, vaddr: u64) -> u64 {
+        u64::from_le_bytes(self.read(vaddr, 8).try_into().expect("sized read"))
+    }
+
+    /// Convenience: writes a little-endian `u64` at `vaddr`.
+    pub fn write_u64(&mut self, vaddr: u64, value: u64) {
+        self.write(vaddr, &value.to_le_bytes());
+    }
+
+    /// Number of physical frames actually materialized (diagnostics).
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_returns_page_aligned_scattered_frames() {
+        let mut m = HostMemory::new();
+        let (base, phys) = m.pin(5 * HUGE_PAGE_SIZE).unwrap();
+        assert_eq!(base % HUGE_PAGE_SIZE, 0);
+        assert_eq!(phys.len(), 5);
+        for p in &phys {
+            assert_eq!(p % HUGE_PAGE_SIZE, 0);
+        }
+        // Physically non-contiguous by construction.
+        assert_ne!(phys[1], phys[0] + HUGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut m = HostMemory::new();
+        let (a, pa) = m.pin(HUGE_PAGE_SIZE).unwrap();
+        let (b, pb) = m.pin(HUGE_PAGE_SIZE).unwrap();
+        assert!(b >= a + HUGE_PAGE_SIZE);
+        assert_ne!(pa[0], pb[0]);
+    }
+
+    #[test]
+    fn virtual_rw_round_trip() {
+        let mut m = HostMemory::new();
+        let (base, _) = m.pin(1024).unwrap();
+        m.write(base + 100, b"strom");
+        assert_eq!(m.read(base + 100, 5), b"strom");
+        m.write_u64(base, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(base), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn virtual_rw_spans_page_boundaries() {
+        let mut m = HostMemory::new();
+        let (base, _) = m.pin(2 * HUGE_PAGE_SIZE).unwrap();
+        let boundary = base + HUGE_PAGE_SIZE - 3;
+        m.write(boundary, b"abcdef");
+        assert_eq!(m.read(boundary, 6), b"abcdef");
+        // The two halves live in different, non-adjacent frames.
+        let p1 = m.virt_to_phys(boundary).unwrap();
+        let p2 = m.virt_to_phys(boundary + 3).unwrap();
+        assert_ne!(p2, p1 + 3);
+    }
+
+    #[test]
+    fn phys_access_matches_virtual_view() {
+        let mut m = HostMemory::new();
+        let (base, phys) = m.pin(HUGE_PAGE_SIZE).unwrap();
+        m.write(base + 8, b"via cpu");
+        let mut buf = [0u8; 7];
+        m.phys_read(phys[0] + 8, &mut buf);
+        assert_eq!(&buf, b"via cpu");
+        m.phys_write(phys[0] + 100, b"via dma");
+        assert_eq!(m.read(base + 100, 7), b"via dma");
+    }
+
+    #[test]
+    #[should_panic(expected = "frame boundary")]
+    fn phys_access_may_not_cross_frames() {
+        let mut m = HostMemory::new();
+        let (_, phys) = m.pin(2 * HUGE_PAGE_SIZE).unwrap();
+        let mut buf = [0u8; 16];
+        m.phys_read(phys[0] + HUGE_PAGE_SIZE - 8, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "segfault")]
+    fn unpinned_access_faults() {
+        let mut m = HostMemory::new();
+        let _ = m.read(0x42, 1);
+    }
+
+    #[test]
+    fn empty_pin_is_rejected() {
+        let mut m = HostMemory::new();
+        assert_eq!(m.pin(0), Err(PinError::EmptyRegion));
+    }
+
+    #[test]
+    fn frames_materialize_lazily() {
+        let mut m = HostMemory::new();
+        let (base, _) = m.pin(100 * HUGE_PAGE_SIZE).unwrap();
+        assert_eq!(m.resident_frames(), 0);
+        m.write(base, b"x");
+        assert_eq!(m.resident_frames(), 1);
+    }
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mut m = HostMemory::new();
+        let (base, _) = m.pin(64).unwrap();
+        assert_eq!(m.read(base, 64), vec![0u8; 64]);
+    }
+}

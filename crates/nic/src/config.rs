@@ -1,0 +1,164 @@
+//! Testbed configuration: the 10 G and 100 G platforms of the paper.
+
+use strom_mem::PcieModel;
+use strom_sim::time::{TimeDelta, MICROS, NANOS};
+use strom_sim::{Bandwidth, Clock};
+
+/// All timing and sizing parameters of one testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct NicConfig {
+    /// RoCE stack clock (156.25 MHz at 10 G, 322 MHz at 100 G, §3.5/§7).
+    pub clock: Clock,
+    /// Datapath width in bytes (8 B at 10 G, 64 B at 100 G, §4.1/§7).
+    pub datapath_bytes: u64,
+    /// Ethernet MTU (1500 B throughout the paper).
+    pub mtu: usize,
+    /// Queue pairs supported (a compile-time parameter on the FPGA, §4.1).
+    pub num_qps: usize,
+    /// Shared Multi-Queue slots for outstanding reads (§4.1).
+    pub max_outstanding_reads: usize,
+    /// PCIe attachment model.
+    pub pcie: PcieModel,
+    /// Network line rate.
+    pub link_bandwidth: Bandwidth,
+    /// Cable propagation delay (direct-connected NICs, §6.1).
+    pub propagation: TimeDelta,
+    /// TX pipeline depth in cycles (Request Handler → Generate IP).
+    pub tx_pipeline_cycles: u64,
+    /// RX pipeline depth in cycles (Process IP → Request Handler), not
+    /// counting the ICRC store-and-forward, which scales with packet size.
+    pub rx_pipeline_cycles: u64,
+    /// Retransmission timeout (§4.1's per-QP timers).
+    pub retransmit_timeout: TimeDelta,
+    /// Host software cost to assemble and issue one command, before the
+    /// MMIO store.
+    pub host_post_overhead: TimeDelta,
+    /// Host polling-loop detection overhead once data is in memory.
+    pub poll_overhead: TimeDelta,
+    /// Kernel fabric dispatch latency in cycles (op-code match + FIFO
+    /// hop, "negligible latency", §5.2).
+    pub kernel_dispatch_cycles: u64,
+    /// Probability that the link drops a frame (fault injection).
+    pub loss_rate: f64,
+    /// RNG seed for the testbed.
+    pub seed: u64,
+}
+
+impl NicConfig {
+    /// The 10 G prototype: Alpha Data ADM-PCIE-7V3, Virtex-7, PCIe Gen3
+    /// x8, RoCE stack at 156.25 MHz on an 8 B datapath (§6.1).
+    pub fn ten_gig() -> Self {
+        NicConfig {
+            clock: Clock::from_mhz(156.25),
+            datapath_bytes: 8,
+            mtu: 1500,
+            num_qps: 500,
+            max_outstanding_reads: 256,
+            pcie: PcieModel::gen3_x8(),
+            link_bandwidth: Bandwidth::gbit_per_sec(10.0),
+            propagation: 50 * NANOS,
+            tx_pipeline_cycles: 40,
+            rx_pipeline_cycles: 60,
+            retransmit_timeout: 100 * MICROS,
+            host_post_overhead: 250 * NANOS,
+            poll_overhead: 100 * NANOS,
+            kernel_dispatch_cycles: 8,
+            loss_rate: 0.0,
+            seed: 0x5150,
+        }
+    }
+
+    /// The 100 G version: VCU118, UltraScale+ XCVU9P, PCIe Gen3 x16,
+    /// RoCE stack at 322 MHz on a 64 B datapath (§7).
+    pub fn hundred_gig() -> Self {
+        NicConfig {
+            clock: Clock::from_mhz(322.0),
+            datapath_bytes: 64,
+            mtu: 1500,
+            num_qps: 500,
+            max_outstanding_reads: 256,
+            pcie: PcieModel::gen3_x16(),
+            link_bandwidth: Bandwidth::gbit_per_sec(100.0),
+            propagation: 50 * NANOS,
+            tx_pipeline_cycles: 40,
+            rx_pipeline_cycles: 60,
+            retransmit_timeout: 100 * MICROS,
+            host_post_overhead: 250 * NANOS,
+            poll_overhead: 100 * NANOS,
+            kernel_dispatch_cycles: 8,
+            loss_rate: 0.0,
+            seed: 0x5150,
+        }
+    }
+
+    /// RoCE payload budget per packet.
+    pub fn max_payload(&self) -> usize {
+        strom_wire::max_payload(self.mtu)
+    }
+
+    /// Time for the TX pipeline to emit a packet.
+    pub fn tx_pipeline_time(&self) -> TimeDelta {
+        self.clock.cycles(self.tx_pipeline_cycles)
+    }
+
+    /// Time for the RX pipeline (fixed stages, excluding store-and-forward).
+    pub fn rx_pipeline_time(&self) -> TimeDelta {
+        self.clock.cycles(self.rx_pipeline_cycles)
+    }
+
+    /// ICRC store-and-forward time for an IP packet of `ip_len` bytes:
+    /// the receiver buffers the whole packet (at one datapath word per
+    /// cycle) before validating the trailer (§7.1).
+    pub fn store_and_forward_time(&self, ip_len: usize) -> TimeDelta {
+        self.clock.stream_time(ip_len as u64, self.datapath_bytes)
+    }
+
+    /// Kernel fabric dispatch latency.
+    pub fn kernel_dispatch_time(&self) -> TimeDelta {
+        self.clock.cycles(self.kernel_dispatch_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_and_width() {
+        let c10 = NicConfig::ten_gig();
+        assert_eq!(c10.clock.period_ps(), 6400);
+        assert_eq!(c10.datapath_bytes, 8);
+        let c100 = NicConfig::hundred_gig();
+        assert_eq!(c100.clock.period_ps(), 3106);
+        assert_eq!(c100.datapath_bytes, 64);
+    }
+
+    #[test]
+    fn store_and_forward_words_match_section_7_1() {
+        // §7.1: a full MTU is 176 words at 8 B vs 22 words at 64 B. A
+        // 1408-byte payload + headers lands close; check the word ratio
+        // for an exact full MTU of 1408 B (176 * 8).
+        let c10 = NicConfig::ten_gig();
+        let c100 = NicConfig::hundred_gig();
+        assert_eq!(c10.clock.cycles_for_bytes(1408, 8), 176);
+        assert_eq!(c100.clock.cycles_for_bytes(1408, 64), 22);
+        // And the 100 G store-and-forward is much shorter in time, too.
+        assert!(c100.store_and_forward_time(1408) < c10.store_and_forward_time(1408) / 4);
+    }
+
+    #[test]
+    fn datapath_sustains_line_rate() {
+        // 8 B at 156.25 MHz = 10 Gbit/s; 64 B at 322 MHz = 164.9 Gbit/s.
+        let c10 = NicConfig::ten_gig();
+        let gbps10 = c10.datapath_bytes as f64 * 8.0 * c10.clock.mhz() * 1e6 / 1e9;
+        assert!(gbps10 >= 10.0, "10G datapath = {gbps10} Gbit/s");
+        let c100 = NicConfig::hundred_gig();
+        let gbps100 = c100.datapath_bytes as f64 * 8.0 * c100.clock.mhz() * 1e6 / 1e9;
+        assert!(gbps100 >= 100.0, "100G datapath = {gbps100} Gbit/s");
+    }
+
+    #[test]
+    fn payload_budget() {
+        assert_eq!(NicConfig::ten_gig().max_payload(), 1440);
+    }
+}

@@ -1,0 +1,70 @@
+//! The testbed's discrete-event vocabulary.
+
+use bytes::Bytes;
+
+use strom_proto::WorkRequest;
+use strom_wire::bth::Qpn;
+use strom_wire::opcode::RpcOpCode;
+
+/// A node index in the testbed (0 or 1 for the back-to-back pair).
+pub type NodeId = usize;
+
+/// Everything that can happen in the simulated world.
+#[derive(Debug)]
+pub enum Event {
+    /// A host command reached the NIC Controller (after the MMIO store).
+    CmdArrive {
+        /// The issuing node.
+        node: NodeId,
+        /// Queue pair of the command.
+        qpn: Qpn,
+        /// The work request.
+        wr: WorkRequest,
+        /// Work-request handle assigned at post time.
+        handle: u64,
+    },
+    /// An encoded frame finished the receiver's RX pipeline and ICRC
+    /// check and is ready for protocol processing.
+    FrameArrive {
+        /// The receiving node.
+        node: NodeId,
+        /// The raw frame bytes (parsed on arrival — bit-accurate RX).
+        frame: Vec<u8>,
+    },
+    /// A DMA write to host memory completed (data becomes visible to CPU
+    /// pollers and watches).
+    DmaWriteDone {
+        /// The node whose memory was written.
+        node: NodeId,
+        /// Destination virtual address.
+        vaddr: u64,
+        /// The bytes written.
+        data: Bytes,
+    },
+    /// A DMA read issued by a kernel completed; the fabric routes the data
+    /// back to the kernel by tag.
+    KernelDmaReadDone {
+        /// The node whose kernel issued the read.
+        node: NodeId,
+        /// The kernel's RPC op-code.
+        op: RpcOpCode,
+        /// Kernel-chosen completion tag.
+        tag: u32,
+        /// Source virtual address.
+        vaddr: u64,
+        /// Read length.
+        len: u32,
+    },
+    /// Periodic retransmission-timer scan for one node.
+    RetransmitCheck {
+        /// The node to scan.
+        node: NodeId,
+    },
+    /// An ARP frame arrived (network bring-up, §4.1's ARP module).
+    ArpArrive {
+        /// The receiving node.
+        node: NodeId,
+        /// The raw 28-byte ARP payload.
+        frame: Vec<u8>,
+    },
+}

@@ -1,0 +1,33 @@
+//! The StRoM NIC simulation: RoCE stack + DMA engine + kernel fabric,
+//! assembled into a two-node testbed.
+//!
+//! This crate is the counterpart of the paper's hardware platform
+//! (Figure 1): each simulated node has host memory behind a PCIe/DMA
+//! model with an on-NIC TLB, a RoCE v2 protocol engine (the sans-IO state
+//! machines of `strom-proto` driven with pipeline timing), and a kernel
+//! fabric hosting StRoM kernels on the data path between the RoCE stack
+//! and the DMA engine (Figure 4). Two such nodes are connected
+//! back-to-back — "we directly connected two StRoM NICs to each other to
+//! remove the potential noise introduced by a switch" (§6.1).
+//!
+//! Packets cross the simulated wire as real encoded bytes
+//! (`strom_wire::Packet::encode`/`parse`), so the full header machinery,
+//! ICRC validation, segmentation, PSN windows, and retransmission logic
+//! are exercised functionally; only *time* is modeled, using the clock,
+//! PCIe, and line-rate constants documented in `NicConfig`.
+
+pub mod config;
+pub mod controller;
+pub mod event;
+pub mod fabric;
+pub mod testbed;
+
+pub use config::NicConfig;
+pub use controller::{CommandWord, StatusRegisters};
+pub use event::{Event, NodeId};
+pub use fabric::KernelFabric;
+pub use testbed::{CpuFallback, Testbed, WatchId};
+
+// Re-export the work-request vocabulary users need at the testbed API.
+pub use strom_proto::{Completion, WorkRequest};
+pub use strom_wire::opcode::RpcOpCode;

@@ -1,0 +1,140 @@
+//! The MSN Table: message sequence numbers and the running DMA address.
+//!
+//! §4.1: "The MSN Table stores the message sequence number (MSN) and the
+//! current DMA address. This is necessary since for write operations with
+//! payload spanning multiple packets the address is only part of the first
+//! packet." The responder consults this table for every WRITE Middle/Last
+//! packet to find where its payload lands in host memory.
+
+use strom_wire::bth::Qpn;
+
+/// Per-QP responder message state.
+#[derive(Debug, Clone, Copy, Default)]
+struct MsnEntry {
+    /// Completed-message counter, reported back in AETH headers.
+    msn: u32,
+    /// Where the next payload byte of the in-progress write lands.
+    dma_vaddr: u64,
+    /// Whether a multi-packet write is currently in progress.
+    in_progress: bool,
+}
+
+/// The MSN Table, indexed by QPN.
+#[derive(Debug, Clone)]
+pub struct MsnTable {
+    entries: Vec<MsnEntry>,
+}
+
+impl MsnTable {
+    /// Creates a table supporting QPNs `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: vec![MsnEntry::default(); capacity],
+        }
+    }
+
+    /// The current MSN for a QP (0 for out-of-range QPNs).
+    pub fn msn(&self, qpn: Qpn) -> u32 {
+        self.entries.get(qpn as usize).map(|e| e.msn).unwrap_or(0)
+    }
+
+    /// Starts a message at `vaddr` (WRITE First/Only carries the RETH).
+    ///
+    /// Returns the DMA address for this packet's payload.
+    pub fn start_message(&mut self, qpn: Qpn, vaddr: u64, payload_len: usize) -> u64 {
+        let e = &mut self.entries[qpn as usize];
+        e.dma_vaddr = vaddr + payload_len as u64;
+        e.in_progress = true;
+        vaddr
+    }
+
+    /// Continues a message (WRITE Middle/Last: no RETH on the wire).
+    ///
+    /// Returns the DMA address for this packet's payload, or `None` if no
+    /// message is in progress (a protocol violation the hardware drops).
+    pub fn continue_message(&mut self, qpn: Qpn, payload_len: usize) -> Option<u64> {
+        let e = self.entries.get_mut(qpn as usize)?;
+        if !e.in_progress {
+            return None;
+        }
+        let addr = e.dma_vaddr;
+        e.dma_vaddr += payload_len as u64;
+        Some(addr)
+    }
+
+    /// Completes the current message, bumping the MSN (wrapping at 24 bits).
+    ///
+    /// Returns the new MSN, which the ACK carries back in its AETH.
+    pub fn complete_message(&mut self, qpn: Qpn) -> u32 {
+        let e = &mut self.entries[qpn as usize];
+        e.in_progress = false;
+        e.msn = (e.msn + 1) & strom_wire::bth::MASK_24;
+        e.msn
+    }
+
+    /// Whether a multi-packet message is currently being reassembled.
+    pub fn message_in_progress(&self, qpn: Qpn) -> bool {
+        self.entries
+            .get(qpn as usize)
+            .map(|e| e.in_progress)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_message() {
+        let mut t = MsnTable::new(4);
+        let addr = t.start_message(1, 0x1000, 64);
+        assert_eq!(addr, 0x1000);
+        assert_eq!(t.complete_message(1), 1);
+        assert!(!t.message_in_progress(1));
+        assert_eq!(t.msn(1), 1);
+    }
+
+    #[test]
+    fn multi_packet_addresses_advance() {
+        let mut t = MsnTable::new(4);
+        assert_eq!(t.start_message(2, 0x4000, 1440), 0x4000);
+        assert!(t.message_in_progress(2));
+        assert_eq!(t.continue_message(2, 1440), Some(0x4000 + 1440));
+        assert_eq!(t.continue_message(2, 120), Some(0x4000 + 2880));
+        assert_eq!(t.complete_message(2), 1);
+        assert!(!t.message_in_progress(2));
+    }
+
+    #[test]
+    fn middle_without_first_is_rejected() {
+        let mut t = MsnTable::new(4);
+        assert_eq!(t.continue_message(3, 64), None);
+    }
+
+    #[test]
+    fn msn_counts_messages_per_qp_independently() {
+        let mut t = MsnTable::new(4);
+        for _ in 0..3 {
+            t.start_message(0, 0, 8);
+            t.complete_message(0);
+        }
+        t.start_message(1, 0, 8);
+        t.complete_message(1);
+        assert_eq!(t.msn(0), 3);
+        assert_eq!(t.msn(1), 1);
+    }
+
+    #[test]
+    fn msn_wraps_at_24_bits() {
+        let mut t = MsnTable::new(1);
+        // Force the counter near the wrap point.
+        for _ in 0..2 {
+            t.start_message(0, 0, 1);
+            t.complete_message(0);
+        }
+        // Internal: set close to wrap by completing many is impractical;
+        // instead verify masking arithmetic directly.
+        assert_eq!((strom_wire::bth::MASK_24 + 1) & strom_wire::bth::MASK_24, 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! The Multi-Queue: per-QP linked lists of outstanding RDMA reads.
+//!
+//! §4.1: "To support multiple outstanding RDMA read operations per queue
+//! pair we implement a Multi-Queue data structure which logically
+//! implements one linked-list per queue pair. Each linked list has a
+//! variable length defined at runtime, but the combined length of all
+//! linked lists is fixed. The actual hardware implementation consists of
+//! two fixed-size arrays stored in on-chip memory. The first one stores
+//! the list metadata pointing to the head and tail of the list. The second
+//! array contains all list elements where each element consists of a local
+//! host memory pointer (the target of the read operation), a pointer to
+//! the next element in the list, and a flag indicating if this is the
+//! tail."
+//!
+//! This module reproduces exactly that layout: two fixed arrays plus a
+//! free list, no heap allocation after construction.
+
+use strom_wire::bth::Qpn;
+
+/// Sentinel index meaning "no element".
+const NIL: u32 = u32::MAX;
+
+/// One element of the element array, as described in the paper.
+#[derive(Debug, Clone, Copy)]
+struct Element {
+    /// Local host memory pointer — where arriving read-response data lands.
+    host_ptr: u64,
+    /// Remaining bytes expected for this read (bookkeeping the requester
+    /// FSM needs to know when the read completes).
+    remaining: u32,
+    /// Index of the next element in this QP's list.
+    next: u32,
+    /// Whether this element is the tail of its list.
+    is_tail: bool,
+}
+
+/// Per-QP list metadata: head and tail indices.
+#[derive(Debug, Clone, Copy)]
+struct ListMeta {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl Default for ListMeta {
+    fn default() -> Self {
+        ListMeta {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+/// An outstanding read popped or peeked from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutstandingRead {
+    /// Local DMA target of the next response byte.
+    pub host_ptr: u64,
+    /// Bytes still expected.
+    pub remaining: u32,
+}
+
+/// The Multi-Queue: `num_qps` logical lists over `total_elements` slots.
+///
+/// # Examples
+///
+/// ```
+/// use strom_proto::MultiQueue;
+/// let mut mq = MultiQueue::new(4, 16);
+/// mq.push(1, 0x1000, 100);
+/// let (addr, done) = mq.consume(1, 60).unwrap();
+/// assert_eq!((addr, done), (0x1000, false));
+/// let (addr, done) = mq.consume(1, 40).unwrap();
+/// assert_eq!((addr, done), (0x1000 + 60, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiQueue {
+    meta: Vec<ListMeta>,
+    elements: Vec<Element>,
+    free_head: u32,
+    free_count: u32,
+}
+
+impl MultiQueue {
+    /// Creates a Multi-Queue for `num_qps` queue pairs sharing
+    /// `total_elements` outstanding-read slots.
+    pub fn new(num_qps: usize, total_elements: usize) -> Self {
+        assert!(total_elements > 0, "need at least one element slot");
+        assert!(
+            total_elements < NIL as usize,
+            "element count overflows index"
+        );
+        let mut elements = Vec::with_capacity(total_elements);
+        for i in 0..total_elements {
+            elements.push(Element {
+                host_ptr: 0,
+                remaining: 0,
+                next: if i + 1 < total_elements {
+                    (i + 1) as u32
+                } else {
+                    NIL
+                },
+                is_tail: false,
+            });
+        }
+        Self {
+            meta: vec![ListMeta::default(); num_qps],
+            elements,
+            free_head: 0,
+            free_count: total_elements as u32,
+        }
+    }
+
+    /// Free slots across all lists.
+    pub fn free_slots(&self) -> u32 {
+        self.free_count
+    }
+
+    /// The length of one QP's list.
+    pub fn len(&self, qpn: Qpn) -> u32 {
+        self.meta.get(qpn as usize).map(|m| m.len).unwrap_or(0)
+    }
+
+    /// Whether a QP has no outstanding reads.
+    pub fn is_empty(&self, qpn: Qpn) -> bool {
+        self.len(qpn) == 0
+    }
+
+    /// Appends an outstanding read for `qpn`.
+    ///
+    /// Returns `false` if the shared element array is exhausted (the host
+    /// must back off, exactly as with a full hardware queue).
+    pub fn push(&mut self, qpn: Qpn, host_ptr: u64, len: u32) -> bool {
+        if self.free_head == NIL {
+            return false;
+        }
+        let Some(meta) = self.meta.get_mut(qpn as usize) else {
+            return false;
+        };
+        let idx = self.free_head;
+        self.free_head = self.elements[idx as usize].next;
+        self.free_count -= 1;
+
+        let e = &mut self.elements[idx as usize];
+        e.host_ptr = host_ptr;
+        e.remaining = len;
+        e.next = NIL;
+        e.is_tail = true;
+
+        if meta.tail == NIL {
+            meta.head = idx;
+        } else {
+            let t = meta.tail as usize;
+            self.elements[t].next = idx;
+            self.elements[t].is_tail = false;
+        }
+        meta.tail = idx;
+        meta.len += 1;
+        true
+    }
+
+    /// The head of a QP's list — the read whose response arrives next
+    /// (RC responses arrive in request order).
+    pub fn peek(&self, qpn: Qpn) -> Option<OutstandingRead> {
+        let meta = self.meta.get(qpn as usize)?;
+        if meta.head == NIL {
+            return None;
+        }
+        let e = &self.elements[meta.head as usize];
+        Some(OutstandingRead {
+            host_ptr: e.host_ptr,
+            remaining: e.remaining,
+        })
+    }
+
+    /// Consumes `bytes` of response data for the head read of `qpn`.
+    ///
+    /// Returns the DMA target address for those bytes and whether the read
+    /// completed (and was popped). Returns `None` if no read is
+    /// outstanding — a protocol violation the caller drops.
+    pub fn consume(&mut self, qpn: Qpn, bytes: u32) -> Option<(u64, bool)> {
+        let meta = self.meta.get_mut(qpn as usize)?;
+        if meta.head == NIL {
+            return None;
+        }
+        let idx = meta.head;
+        let e = &mut self.elements[idx as usize];
+        let addr = e.host_ptr;
+        let consumed = bytes.min(e.remaining);
+        e.host_ptr += u64::from(consumed);
+        e.remaining -= consumed;
+        let done = e.remaining == 0;
+        if done {
+            meta.head = e.next;
+            if meta.head == NIL {
+                meta.tail = NIL;
+            }
+            meta.len -= 1;
+            // Return the slot to the free list.
+            let e = &mut self.elements[idx as usize];
+            e.next = self.free_head;
+            e.is_tail = false;
+            self.free_head = idx;
+            self.free_count += 1;
+        }
+        Some((addr, done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_peek_consume_single() {
+        let mut mq = MultiQueue::new(4, 8);
+        assert!(mq.push(1, 0x1000, 100));
+        assert_eq!(mq.len(1), 1);
+        assert_eq!(
+            mq.peek(1),
+            Some(OutstandingRead {
+                host_ptr: 0x1000,
+                remaining: 100
+            })
+        );
+        let (addr, done) = mq.consume(1, 60).unwrap();
+        assert_eq!(addr, 0x1000);
+        assert!(!done);
+        let (addr, done) = mq.consume(1, 40).unwrap();
+        assert_eq!(addr, 0x1000 + 60);
+        assert!(done);
+        assert!(mq.is_empty(1));
+    }
+
+    #[test]
+    fn lists_are_fifo_per_qp() {
+        let mut mq = MultiQueue::new(2, 8);
+        mq.push(0, 0xa000, 10);
+        mq.push(0, 0xb000, 10);
+        mq.push(1, 0xc000, 10);
+        let (a, done) = mq.consume(0, 10).unwrap();
+        assert_eq!((a, done), (0xa000, true));
+        let (b, _) = mq.consume(0, 5).unwrap();
+        assert_eq!(b, 0xb000);
+        let (c, _) = mq.consume(1, 10).unwrap();
+        assert_eq!(c, 0xc000);
+    }
+
+    #[test]
+    fn shared_capacity_is_fixed() {
+        let mut mq = MultiQueue::new(4, 3);
+        assert!(mq.push(0, 0, 1));
+        assert!(mq.push(1, 0, 1));
+        assert!(mq.push(2, 0, 1));
+        assert_eq!(mq.free_slots(), 0);
+        assert!(!mq.push(3, 0, 1), "combined length of all lists is fixed");
+    }
+
+    #[test]
+    fn slots_recycle_after_completion() {
+        let mut mq = MultiQueue::new(2, 2);
+        mq.push(0, 0, 8);
+        mq.push(0, 8, 8);
+        assert!(!mq.push(1, 0, 8));
+        mq.consume(0, 8);
+        assert_eq!(mq.free_slots(), 1);
+        assert!(
+            mq.push(1, 0, 8),
+            "freed slot must be reusable by another QP"
+        );
+    }
+
+    #[test]
+    fn consume_without_outstanding_read_is_an_error() {
+        let mut mq = MultiQueue::new(1, 2);
+        assert!(mq.consume(0, 8).is_none());
+    }
+
+    #[test]
+    fn variable_length_lists_share_the_array() {
+        let mut mq = MultiQueue::new(3, 10);
+        for i in 0..7 {
+            assert!(mq.push(0, i * 100, 1));
+        }
+        for i in 0..3 {
+            assert!(mq.push(2, i * 100, 1));
+        }
+        assert_eq!(mq.len(0), 7);
+        assert_eq!(mq.len(2), 3);
+        assert_eq!(mq.len(1), 0);
+        // Drain QP 0 in order.
+        for i in 0..7 {
+            let (addr, done) = mq.consume(0, 1).unwrap();
+            assert_eq!(addr, i * 100);
+            assert!(done);
+        }
+    }
+
+    #[test]
+    fn unknown_qpn_is_rejected() {
+        let mut mq = MultiQueue::new(1, 2);
+        assert!(!mq.push(5, 0, 1));
+        assert!(mq.peek(5).is_none());
+        assert!(mq.consume(5, 1).is_none());
+    }
+}

@@ -1,0 +1,125 @@
+//! 24-bit packet-sequence-number arithmetic.
+//!
+//! PSNs wrap at 2^24; the State Table classifies an incoming PSN against
+//! the expected PSN into **valid**, **duplicate**, and **invalid** regions
+//! (§4.1: "The State Table stores all packet sequence numbers (PSNs) to
+//! define the valid, invalid, and duplicate PSN regions"). Following the
+//! IB convention, the half-space behind the expected PSN is the duplicate
+//! region and the half-space ahead of it is invalid (out-of-order arrival).
+
+use std::cmp::Ordering;
+
+use strom_wire::bth::{Psn, MASK_24};
+
+/// Half of the 24-bit PSN space; the duplicate-region boundary.
+pub const PSN_HALF: u32 = 1 << 23;
+
+/// Adds `delta` to a PSN, wrapping at 2^24.
+pub fn psn_add(psn: Psn, delta: u32) -> Psn {
+    (psn.wrapping_add(delta)) & MASK_24
+}
+
+/// Compares two PSNs in the wrapping space.
+///
+/// Returns [`Ordering::Less`] if `a` is behind `b` (i.e. `a` lies in the
+/// half-space preceding `b`), [`Ordering::Equal`] if identical, and
+/// [`Ordering::Greater`] otherwise.
+pub fn psn_cmp(a: Psn, b: Psn) -> Ordering {
+    let a = a & MASK_24;
+    let b = b & MASK_24;
+    if a == b {
+        return Ordering::Equal;
+    }
+    let forward = b.wrapping_sub(a) & MASK_24;
+    if forward < PSN_HALF {
+        Ordering::Less
+    } else {
+        Ordering::Greater
+    }
+}
+
+/// The three PSN regions of the paper's State Table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsnClass {
+    /// Exactly the expected PSN: accept and advance.
+    Valid,
+    /// Behind the expected PSN: already processed; re-acknowledge and drop.
+    Duplicate,
+    /// Ahead of the expected PSN: a gap (lost packet); NAK and drop.
+    Invalid,
+}
+
+/// Classifies an incoming `psn` against the expected `epsn` (Figure 3,
+/// step 3: "check PSN").
+pub fn classify(psn: Psn, epsn: Psn) -> PsnClass {
+    match psn_cmp(psn, epsn) {
+        Ordering::Equal => PsnClass::Valid,
+        Ordering::Less => PsnClass::Duplicate,
+        Ordering::Greater => PsnClass::Invalid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps_at_24_bits() {
+        assert_eq!(psn_add(MASK_24, 1), 0);
+        assert_eq!(psn_add(MASK_24 - 1, 3), 1);
+        assert_eq!(psn_add(5, 10), 15);
+    }
+
+    #[test]
+    fn cmp_simple_ordering() {
+        assert_eq!(psn_cmp(1, 2), Ordering::Less);
+        assert_eq!(psn_cmp(2, 1), Ordering::Greater);
+        assert_eq!(psn_cmp(7, 7), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_across_wrap() {
+        // 0xffffff is just behind 0 in the wrapping space.
+        assert_eq!(psn_cmp(MASK_24, 0), Ordering::Less);
+        assert_eq!(psn_cmp(0, MASK_24), Ordering::Greater);
+    }
+
+    #[test]
+    fn classify_regions() {
+        assert_eq!(classify(100, 100), PsnClass::Valid);
+        assert_eq!(classify(99, 100), PsnClass::Duplicate);
+        assert_eq!(classify(101, 100), PsnClass::Invalid);
+    }
+
+    #[test]
+    fn classify_across_wrap() {
+        assert_eq!(classify(MASK_24, 0), PsnClass::Duplicate);
+        assert_eq!(classify(0, MASK_24), PsnClass::Invalid);
+        assert_eq!(classify(1, MASK_24), PsnClass::Invalid);
+    }
+
+    #[test]
+    fn region_boundary_at_half_space() {
+        // Up to and including half the space ahead counts as invalid; just
+        // over half ahead wraps into the duplicate region.
+        let e = 0;
+        assert_eq!(classify(PSN_HALF - 1, e), PsnClass::Invalid);
+        assert_eq!(classify(PSN_HALF, e), PsnClass::Invalid);
+        assert_eq!(classify(PSN_HALF + 1, e), PsnClass::Duplicate);
+    }
+
+    #[test]
+    fn trichotomy_partitions_the_space() {
+        // Every PSN falls in exactly one region relative to a fixed ePSN.
+        let e = 12_345;
+        let mut counts = [0usize; 3];
+        for psn in (0..=MASK_24).step_by(4097) {
+            match classify(psn, e) {
+                PsnClass::Valid => counts[0] += 1,
+                PsnClass::Duplicate => counts[1] += 1,
+                PsnClass::Invalid => counts[2] += 1,
+            }
+        }
+        assert!(counts[1] > 0 && counts[2] > 0);
+    }
+}

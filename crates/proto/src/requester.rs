@@ -1,0 +1,902 @@
+//! The requester finite state machine.
+//!
+//! Mirrors the transmit path of Figure 2: the Request Handler receives
+//! work requests from the host, segments them into packets (Generate
+//! RETH/AETH → Generate BTH), tracks outstanding PSNs via the State Table,
+//! registers outstanding reads in the Multi-Queue, and retransmits on NAK
+//! or timer expiry.
+//!
+//! Sans-IO: posting a work request returns [`PacketDescriptor`]s for the
+//! NIC to transmit (payload is *described*, not copied — the DMA engine
+//! fetches it from host memory at transmit time, which is also how
+//! retransmission re-fetches data without buffering packets on the NIC).
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use strom_wire::bth::{Aeth, AethSyndrome, Psn, Qpn, Reth};
+use strom_wire::opcode::{Opcode, RpcOpCode};
+use strom_wire::segment::segment_message;
+
+use crate::multi_queue::MultiQueue;
+use crate::psn::{psn_add, psn_cmp, PsnClass};
+use crate::state_table::StateTable;
+
+/// A work request posted by the host (via the Controller registers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkRequest {
+    /// One-sided RDMA WRITE from local to remote memory.
+    Write {
+        /// Remote virtual address.
+        remote_vaddr: u64,
+        /// Local virtual address the DMA engine fetches payload from.
+        local_vaddr: u64,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// One-sided RDMA READ from remote to local memory.
+    Read {
+        /// Remote virtual address.
+        remote_vaddr: u64,
+        /// Local virtual address the response data is placed at.
+        local_vaddr: u64,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// StRoM RPC invocation (RDMA RPC Params, ≤ one MTU of parameters).
+    Rpc {
+        /// Kernel-matching op-code.
+        rpc_op: RpcOpCode,
+        /// Parameter bytes (inline; the host passes them in the command).
+        params: Bytes,
+    },
+    /// StRoM RPC WRITE: stream local memory to a remote kernel.
+    RpcWrite {
+        /// Kernel-matching op-code.
+        rpc_op: RpcOpCode,
+        /// Local virtual address of the payload.
+        local_vaddr: u64,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// RDMA WRITE whose payload originates on the NIC itself rather than
+    /// in host memory — how a StRoM kernel transmits its response
+    /// (`roceMetaOut` + `roceDataOut`, §5.2).
+    WriteInline {
+        /// Remote virtual address.
+        remote_vaddr: u64,
+        /// The payload bytes.
+        data: Bytes,
+    },
+}
+
+/// Where a packet's payload comes from at (re)transmit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadSource {
+    /// No payload (READ request).
+    None,
+    /// Fetched from local host memory by the DMA engine.
+    Host {
+        /// Local virtual address.
+        vaddr: u64,
+        /// Length in bytes.
+        len: u32,
+    },
+    /// Carried inline in the work request (RPC parameters).
+    Inline(Bytes),
+}
+
+impl PayloadSource {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u32 {
+        match self {
+            PayloadSource::None => 0,
+            PayloadSource::Host { len, .. } => *len,
+            PayloadSource::Inline(b) => b.len() as u32,
+        }
+    }
+
+    /// Whether there is no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One packet the NIC must transmit for a work request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketDescriptor {
+    /// Queue pair to send on.
+    pub qpn: Qpn,
+    /// BTH op-code.
+    pub opcode: Opcode,
+    /// Assigned PSN.
+    pub psn: Psn,
+    /// RETH, when the op-code carries one.
+    pub reth: Option<Reth>,
+    /// Payload source.
+    pub payload: PayloadSource,
+}
+
+/// A completed work request, reported back to the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Host-assigned work request id.
+    pub wr_id: u64,
+    /// QP the request ran on.
+    pub qpn: Qpn,
+}
+
+/// Why a work request could not be posted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostError {
+    /// The QP is not initialized in the State Table.
+    UnknownQp,
+    /// The Multi-Queue has no free outstanding-read slots.
+    MultiQueueFull,
+    /// RPC parameters exceed one MTU (the RDMA RPC verb is Only-sized,
+    /// §5.1: "the payload size is at most one MTU").
+    RpcParamsTooLarge,
+}
+
+impl std::fmt::Display for PostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PostError::UnknownQp => write!(f, "queue pair not initialized"),
+            PostError::MultiQueueFull => write!(f, "no free outstanding-read slots"),
+            PostError::RpcParamsTooLarge => write!(f, "RPC parameters exceed one MTU"),
+        }
+    }
+}
+
+impl std::error::Error for PostError {}
+
+/// Tracking record for an unacknowledged message.
+#[derive(Debug, Clone)]
+struct OutstandingMessage {
+    /// PSN of the final packet (the one whose ACK completes the message).
+    last_psn: Psn,
+    /// Host work-request id.
+    wr_id: u64,
+    /// Packets for retransmission.
+    packets: Vec<PacketDescriptor>,
+}
+
+/// Tracking record for an outstanding read (parallel to the Multi-Queue).
+#[derive(Debug, Clone, Copy)]
+struct ReadTrack {
+    /// PSN of the next expected response packet.
+    next_resp_psn: Psn,
+    /// PSN of the final response packet.
+    last_resp_psn: Psn,
+    /// Host work-request id.
+    wr_id: u64,
+}
+
+/// Per-QP requester state.
+#[derive(Debug, Default)]
+struct QpRequester {
+    outstanding: VecDeque<OutstandingMessage>,
+    reads: VecDeque<ReadTrack>,
+}
+
+/// The requester FSM.
+#[derive(Debug)]
+pub struct Requester {
+    qps: Vec<QpRequester>,
+    multi_queue: MultiQueue,
+    max_payload: usize,
+    next_wr_id: u64,
+    retransmissions: u64,
+}
+
+impl Requester {
+    /// Creates a requester for `num_qps` QPs, `max_outstanding_reads`
+    /// shared Multi-Queue slots, and the given per-packet payload budget.
+    pub fn new(num_qps: usize, max_outstanding_reads: usize, max_payload: usize) -> Self {
+        assert!(max_payload > 0, "max payload must be positive");
+        Self {
+            qps: (0..num_qps).map(|_| QpRequester::default()).collect(),
+            multi_queue: MultiQueue::new(num_qps, max_outstanding_reads),
+            max_payload,
+            next_wr_id: 1,
+            retransmissions: 0,
+        }
+    }
+
+    /// Total retransmitted packets (diagnostics for the loss experiments).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Whether the QP has unacknowledged messages or outstanding reads
+    /// (drives the retransmission timer).
+    pub fn has_outstanding(&self, qpn: Qpn) -> bool {
+        self.qps
+            .get(qpn as usize)
+            .map(|q| !q.outstanding.is_empty() || !q.reads.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Posts a work request; returns the packets to transmit and the
+    /// work-request id that will appear in the eventual [`Completion`].
+    pub fn post(
+        &mut self,
+        state: &mut StateTable,
+        qpn: Qpn,
+        wr: WorkRequest,
+    ) -> Result<(u64, Vec<PacketDescriptor>), PostError> {
+        if state.get(qpn).is_none() || (qpn as usize) >= self.qps.len() {
+            return Err(PostError::UnknownQp);
+        }
+        let wr_id = self.next_wr_id;
+        self.next_wr_id += 1;
+        let packets = match wr {
+            WorkRequest::Write {
+                remote_vaddr,
+                local_vaddr,
+                len,
+            } => self.build_write(state, qpn, remote_vaddr, local_vaddr, len, None)?,
+            WorkRequest::RpcWrite {
+                rpc_op,
+                local_vaddr,
+                len,
+            } => self.build_write(state, qpn, rpc_op.0, local_vaddr, len, Some(rpc_op))?,
+            WorkRequest::WriteInline { remote_vaddr, data } => {
+                self.build_write_inline(state, qpn, remote_vaddr, data)?
+            }
+            WorkRequest::Rpc { rpc_op, params } => {
+                if params.len() > self.max_payload {
+                    return Err(PostError::RpcParamsTooLarge);
+                }
+                let psn = state.alloc_psns(qpn, 1).ok_or(PostError::UnknownQp)?;
+                vec![PacketDescriptor {
+                    qpn,
+                    opcode: Opcode::RpcParams,
+                    psn,
+                    reth: Some(Reth {
+                        vaddr: rpc_op.0,
+                        rkey: 0,
+                        dma_len: params.len() as u32,
+                    }),
+                    payload: PayloadSource::Inline(params),
+                }]
+            }
+            WorkRequest::Read {
+                remote_vaddr,
+                local_vaddr,
+                len,
+            } => {
+                let n_resp = (len as usize).div_ceil(self.max_payload).max(1) as u32;
+                if self.multi_queue.free_slots() == 0 {
+                    return Err(PostError::MultiQueueFull);
+                }
+                let psn = state.alloc_psns(qpn, n_resp).ok_or(PostError::UnknownQp)?;
+                let pushed = self.multi_queue.push(qpn, local_vaddr, len);
+                debug_assert!(pushed, "free slot checked above");
+                self.qps[qpn as usize].reads.push_back(ReadTrack {
+                    next_resp_psn: psn,
+                    last_resp_psn: psn_add(psn, n_resp - 1),
+                    wr_id,
+                });
+                vec![PacketDescriptor {
+                    qpn,
+                    opcode: Opcode::ReadRequest,
+                    psn,
+                    reth: Some(Reth {
+                        vaddr: remote_vaddr,
+                        rkey: 0,
+                        dma_len: len,
+                    }),
+                    payload: PayloadSource::None,
+                }]
+            }
+        };
+        // Reads complete via response data; everything else completes on ACK.
+        if !matches!(packets.first().map(|p| p.opcode), Some(Opcode::ReadRequest)) {
+            let last_psn = packets.last().expect("at least one packet").psn;
+            self.qps[qpn as usize]
+                .outstanding
+                .push_back(OutstandingMessage {
+                    last_psn,
+                    wr_id,
+                    packets: packets.clone(),
+                });
+        } else {
+            // Keep the read request itself retransmittable.
+            let last_psn = packets[0].psn;
+            self.qps[qpn as usize]
+                .outstanding
+                .push_back(OutstandingMessage {
+                    last_psn,
+                    wr_id,
+                    packets: packets.clone(),
+                });
+        }
+        Ok((wr_id, packets))
+    }
+
+    fn build_write(
+        &mut self,
+        state: &mut StateTable,
+        qpn: Qpn,
+        remote_vaddr: u64,
+        local_vaddr: u64,
+        len: u32,
+        rpc_op: Option<RpcOpCode>,
+    ) -> Result<Vec<PacketDescriptor>, PostError> {
+        let segments = segment_message(len as usize, self.max_payload);
+        let first_psn = state
+            .alloc_psns(qpn, segments.len() as u32)
+            .ok_or(PostError::UnknownQp)?;
+        let mut out = Vec::with_capacity(segments.len());
+        for (i, seg) in segments.iter().enumerate() {
+            let opcode = match rpc_op {
+                Some(_) => seg.kind.rpc_write_opcode(),
+                None => seg.kind.write_opcode(),
+            };
+            let reth = if opcode.has_reth() {
+                Some(Reth {
+                    vaddr: rpc_op.map(|o| o.0).unwrap_or(remote_vaddr),
+                    rkey: 0,
+                    dma_len: len,
+                })
+            } else {
+                None
+            };
+            out.push(PacketDescriptor {
+                qpn,
+                opcode,
+                psn: psn_add(first_psn, i as u32),
+                reth,
+                payload: PayloadSource::Host {
+                    vaddr: local_vaddr + seg.offset as u64,
+                    len: seg.len as u32,
+                },
+            });
+        }
+        Ok(out)
+    }
+
+    fn build_write_inline(
+        &mut self,
+        state: &mut StateTable,
+        qpn: Qpn,
+        remote_vaddr: u64,
+        data: Bytes,
+    ) -> Result<Vec<PacketDescriptor>, PostError> {
+        let segments = segment_message(data.len(), self.max_payload);
+        let first_psn = state
+            .alloc_psns(qpn, segments.len() as u32)
+            .ok_or(PostError::UnknownQp)?;
+        let mut out = Vec::with_capacity(segments.len());
+        for (i, seg) in segments.iter().enumerate() {
+            let opcode = seg.kind.write_opcode();
+            let reth = opcode.has_reth().then_some(Reth {
+                vaddr: remote_vaddr,
+                rkey: 0,
+                dma_len: data.len() as u32,
+            });
+            out.push(PacketDescriptor {
+                qpn,
+                opcode,
+                psn: psn_add(first_psn, i as u32),
+                reth,
+                payload: PayloadSource::Inline(data.slice(seg.offset..seg.offset + seg.len)),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Handles an inbound ACK/NAK.
+    ///
+    /// Returns `(completions, retransmit_packets)`.
+    pub fn on_ack(
+        &mut self,
+        state: &mut StateTable,
+        qpn: Qpn,
+        psn: Psn,
+        aeth: Aeth,
+    ) -> (Vec<Completion>, Vec<PacketDescriptor>) {
+        match aeth.syndrome {
+            AethSyndrome::Ack => {
+                state.ack_up_to(qpn, psn);
+                (self.collect_acked(qpn, psn), Vec::new())
+            }
+            AethSyndrome::NakSequenceError => {
+                // The AETH PSN names the responder's expected PSN; ack
+                // everything before it and retransmit from there.
+                if psn != 0 {
+                    let acked = psn_add(psn, strom_wire::bth::MASK_24); // psn - 1 wrapping.
+                    state.ack_up_to(qpn, acked);
+                }
+                let completions = if psn != 0 {
+                    self.collect_acked(qpn, psn_add(psn, strom_wire::bth::MASK_24))
+                } else {
+                    Vec::new()
+                };
+                (completions, self.retransmit_from(qpn, psn))
+            }
+            AethSyndrome::NakRemoteOperationalError => {
+                // Unrecoverable for this message: surface the completion so
+                // the host observes the error (error reporting is by value
+                // in host memory, §5.1).
+                (self.collect_acked(qpn, psn), Vec::new())
+            }
+        }
+    }
+
+    fn collect_acked(&mut self, qpn: Qpn, psn: Psn) -> Vec<Completion> {
+        let Some(qp) = self.qps.get_mut(qpn as usize) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while let Some(front) = qp.outstanding.front() {
+            if psn_cmp(front.last_psn, psn) != std::cmp::Ordering::Greater {
+                // Read requests complete via data, not ACK; drop the
+                // retransmission record but do not emit a completion.
+                let msg = qp.outstanding.pop_front().expect("front checked");
+                let is_read = msg
+                    .packets
+                    .first()
+                    .map(|p| p.opcode == Opcode::ReadRequest)
+                    .unwrap_or(false);
+                if !is_read {
+                    out.push(Completion {
+                        wr_id: msg.wr_id,
+                        qpn,
+                    });
+                }
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Handles an inbound READ response packet.
+    ///
+    /// Returns the local DMA placement for the payload plus any completion.
+    /// Out-of-order or duplicate responses return `None` and are dropped
+    /// (the retransmission machinery recovers).
+    pub fn on_read_response(
+        &mut self,
+        state: &mut StateTable,
+        qpn: Qpn,
+        psn: Psn,
+        payload: &Bytes,
+    ) -> Option<(u64, Option<Completion>)> {
+        let qp = self.qps.get_mut(qpn as usize)?;
+        let track = qp.reads.front_mut()?;
+        match crate::psn::classify(psn, track.next_resp_psn) {
+            PsnClass::Valid => {}
+            PsnClass::Duplicate | PsnClass::Invalid => return None,
+        }
+        let (addr, done) = self.multi_queue.consume(qpn, payload.len() as u32)?;
+        track.next_resp_psn = psn_add(track.next_resp_psn, 1);
+        let mut completion = None;
+        if done {
+            debug_assert_eq!(psn, track.last_resp_psn, "length/PSN bookkeeping agree");
+            let track = qp.reads.pop_front().expect("front_mut succeeded");
+            completion = Some(Completion {
+                wr_id: track.wr_id,
+                qpn,
+            });
+            // The final response also acknowledges the read request's PSN
+            // range, releasing its retransmission record.
+            state.ack_up_to(qpn, track.last_resp_psn);
+            let _ = self.collect_acked(qpn, track.last_resp_psn);
+        }
+        Some((addr, completion))
+    }
+
+    /// Retransmits every outstanding packet of `qpn` (timer expiry).
+    pub fn on_timeout(&mut self, qpn: Qpn) -> Vec<PacketDescriptor> {
+        self.retransmit_from(qpn, 0xffff_ffff)
+    }
+
+    /// Collects packets to retransmit: all packets of outstanding messages
+    /// with PSN at or after `from_psn` (`0xffff_ffff` = everything).
+    fn retransmit_from(&mut self, qpn: Qpn, from_psn: u32) -> Vec<PacketDescriptor> {
+        let Some(qp) = self.qps.get_mut(qpn as usize) else {
+            return Vec::new();
+        };
+        let everything = from_psn > strom_wire::bth::MASK_24;
+        let mut out = Vec::new();
+        for msg in &qp.outstanding {
+            for pkt in &msg.packets {
+                if everything || psn_cmp(pkt.psn, from_psn) != std::cmp::Ordering::Less {
+                    out.push(pkt.clone());
+                }
+            }
+        }
+        self.retransmissions += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (StateTable, Requester) {
+        let mut st = StateTable::new(8);
+        st.init_qp(2, 0, 0);
+        (st, Requester::new(8, 16, 1440))
+    }
+
+    fn ack(_psn: Psn) -> Aeth {
+        Aeth {
+            syndrome: AethSyndrome::Ack,
+            msn: 0,
+        }
+    }
+
+    #[test]
+    fn small_write_is_one_packet() {
+        let (mut st, mut r) = setup();
+        let (wr_id, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Write {
+                    remote_vaddr: 0x1000,
+                    local_vaddr: 0x2000,
+                    len: 64,
+                },
+            )
+            .unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].opcode, Opcode::WriteOnly);
+        assert_eq!(pkts[0].psn, 0);
+        assert_eq!(
+            pkts[0].payload,
+            PayloadSource::Host {
+                vaddr: 0x2000,
+                len: 64
+            }
+        );
+        assert!(r.has_outstanding(2));
+        let (comps, retx) = r.on_ack(&mut st, 2, 0, ack(0));
+        assert_eq!(comps, vec![Completion { wr_id, qpn: 2 }]);
+        assert!(retx.is_empty());
+        assert!(!r.has_outstanding(2));
+    }
+
+    #[test]
+    fn large_write_segments_with_correct_psns() {
+        let (mut st, mut r) = setup();
+        let (_, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Write {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 4000,
+                },
+            )
+            .unwrap();
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].opcode, Opcode::WriteFirst);
+        assert_eq!(pkts[1].opcode, Opcode::WriteMiddle);
+        assert_eq!(pkts[2].opcode, Opcode::WriteLast);
+        assert_eq!(
+            pkts.iter().map(|p| p.psn).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(pkts[0].reth.is_some());
+        assert!(pkts[1].reth.is_none());
+        // Only the final ACK completes the message.
+        let (comps, _) = r.on_ack(&mut st, 2, 1, ack(1));
+        assert!(comps.is_empty());
+        let (comps, _) = r.on_ack(&mut st, 2, 2, ack(2));
+        assert_eq!(comps.len(), 1);
+    }
+
+    #[test]
+    fn read_places_response_data_in_order() {
+        let (mut st, mut r) = setup();
+        let (wr_id, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Read {
+                    remote_vaddr: 0x9000,
+                    local_vaddr: 0x100,
+                    len: 3000,
+                },
+            )
+            .unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].opcode, Opcode::ReadRequest);
+        // 3 response packets expected (PSNs 0,1,2).
+        let d0 = Bytes::from(vec![0u8; 1440]);
+        let d1 = Bytes::from(vec![1u8; 1440]);
+        let d2 = Bytes::from(vec![2u8; 120]);
+        let (addr, comp) = r.on_read_response(&mut st, 2, 0, &d0).unwrap();
+        assert_eq!(addr, 0x100);
+        assert!(comp.is_none());
+        let (addr, comp) = r.on_read_response(&mut st, 2, 1, &d1).unwrap();
+        assert_eq!(addr, 0x100 + 1440);
+        assert!(comp.is_none());
+        let (addr, comp) = r.on_read_response(&mut st, 2, 2, &d2).unwrap();
+        assert_eq!(addr, 0x100 + 2880);
+        assert_eq!(comp, Some(Completion { wr_id, qpn: 2 }));
+        assert!(!r.has_outstanding(2), "read ack'd its own PSN range");
+    }
+
+    #[test]
+    fn duplicate_response_is_dropped() {
+        let (mut st, mut r) = setup();
+        r.post(
+            &mut st,
+            2,
+            WorkRequest::Read {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 2000,
+            },
+        )
+        .unwrap();
+        let d = Bytes::from(vec![0u8; 1440]);
+        assert!(r.on_read_response(&mut st, 2, 0, &d).is_some());
+        assert!(
+            r.on_read_response(&mut st, 2, 0, &d).is_none(),
+            "same PSN twice must be dropped"
+        );
+        // The stream continues at PSN 1.
+        let tail = Bytes::from(vec![0u8; 560]);
+        assert!(r.on_read_response(&mut st, 2, 1, &tail).is_some());
+    }
+
+    #[test]
+    fn out_of_order_response_is_dropped() {
+        let (mut st, mut r) = setup();
+        r.post(
+            &mut st,
+            2,
+            WorkRequest::Read {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 3000,
+            },
+        )
+        .unwrap();
+        let d = Bytes::from(vec![0u8; 1440]);
+        // PSN 1 arrives before PSN 0: drop.
+        assert!(r.on_read_response(&mut st, 2, 1, &d).is_none());
+        assert!(r.on_read_response(&mut st, 2, 0, &d).is_some());
+    }
+
+    #[test]
+    fn timeout_retransmits_everything_outstanding() {
+        let (mut st, mut r) = setup();
+        let (_, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Write {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 3000,
+                },
+            )
+            .unwrap();
+        let retx = r.on_timeout(2);
+        assert_eq!(retx, pkts);
+        assert_eq!(r.retransmissions(), 3);
+    }
+
+    #[test]
+    fn nak_retransmits_from_expected_psn() {
+        let (mut st, mut r) = setup();
+        r.post(
+            &mut st,
+            2,
+            WorkRequest::Write {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 4000,
+            },
+        )
+        .unwrap();
+        // Responder expected PSN 1 (packet 1 lost).
+        let (comps, retx) = r.on_ack(
+            &mut st,
+            2,
+            1,
+            Aeth {
+                syndrome: AethSyndrome::NakSequenceError,
+                msn: 0,
+            },
+        );
+        assert!(comps.is_empty());
+        assert_eq!(retx.len(), 2, "PSNs 1 and 2 retransmitted");
+        assert_eq!(retx[0].psn, 1);
+        assert_eq!(retx[1].psn, 2);
+    }
+
+    #[test]
+    fn rpc_params_single_packet_with_opcode_in_reth() {
+        let (mut st, mut r) = setup();
+        let (_, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Rpc {
+                    rpc_op: RpcOpCode::CONSISTENCY,
+                    params: Bytes::from_static(b"0123456789abcdef"),
+                },
+            )
+            .unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].opcode, Opcode::RpcParams);
+        assert_eq!(pkts[0].reth.unwrap().vaddr, RpcOpCode::CONSISTENCY.0);
+        assert!(matches!(pkts[0].payload, PayloadSource::Inline(_)));
+    }
+
+    #[test]
+    fn oversized_rpc_params_rejected() {
+        let (mut st, mut r) = setup();
+        let err = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Rpc {
+                    rpc_op: RpcOpCode::GET,
+                    params: Bytes::from(vec![0u8; 2000]),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, PostError::RpcParamsTooLarge);
+    }
+
+    #[test]
+    fn rpc_write_uses_rpc_opcodes() {
+        let (mut st, mut r) = setup();
+        let (_, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::RpcWrite {
+                    rpc_op: RpcOpCode::SHUFFLE,
+                    local_vaddr: 0,
+                    len: 3000,
+                },
+            )
+            .unwrap();
+        assert_eq!(pkts[0].opcode, Opcode::RpcWriteFirst);
+        assert_eq!(pkts[1].opcode, Opcode::RpcWriteMiddle);
+        assert_eq!(pkts[2].opcode, Opcode::RpcWriteLast);
+        assert_eq!(pkts[0].reth.unwrap().vaddr, RpcOpCode::SHUFFLE.0);
+    }
+
+    #[test]
+    fn multi_queue_exhaustion_rejects_reads() {
+        let mut st = StateTable::new(8);
+        st.init_qp(2, 0, 0);
+        let mut r = Requester::new(8, 2, 1440);
+        for _ in 0..2 {
+            r.post(
+                &mut st,
+                2,
+                WorkRequest::Read {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 8,
+                },
+            )
+            .unwrap();
+        }
+        let err = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Read {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 8,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, PostError::MultiQueueFull);
+    }
+
+    #[test]
+    fn write_inline_carries_nic_data() {
+        // The path a StRoM kernel's response takes (§5.2): payload comes
+        // from the NIC, not host memory, and segments like any write.
+        let (mut st, mut r) = setup();
+        let data = Bytes::from(vec![0xCDu8; 3000]);
+        let (wr_id, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::WriteInline {
+                    remote_vaddr: 0x7000,
+                    data: data.clone(),
+                },
+            )
+            .unwrap();
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].opcode, Opcode::WriteFirst);
+        assert_eq!(pkts[0].reth.unwrap().vaddr, 0x7000);
+        // The inline payload slices reassemble to the original data.
+        let mut rebuilt = Vec::new();
+        for p in &pkts {
+            match &p.payload {
+                PayloadSource::Inline(b) => rebuilt.extend_from_slice(b),
+                other => panic!("expected inline payload, got {other:?}"),
+            }
+        }
+        assert_eq!(Bytes::from(rebuilt), data);
+        // Completes on the final ACK like an ordinary write.
+        let (comps, _) = r.on_ack(&mut st, 2, pkts[2].psn, ack(0));
+        assert_eq!(comps, vec![Completion { wr_id, qpn: 2 }]);
+    }
+
+    #[test]
+    fn write_inline_retransmits_without_host_memory() {
+        let (mut st, mut r) = setup();
+        let data = Bytes::from_static(b"kernel response");
+        let (_, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::WriteInline {
+                    remote_vaddr: 0x10,
+                    data,
+                },
+            )
+            .unwrap();
+        let retx = r.on_timeout(2);
+        assert_eq!(retx, pkts, "inline payload is retained for retransmit");
+    }
+
+    #[test]
+    fn remote_operational_error_surfaces_completion() {
+        // A NAK remote-operational-error (no kernel matched, §5.1) must
+        // not wedge the message: the completion is surfaced.
+        let (mut st, mut r) = setup();
+        let (wr_id, pkts) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Rpc {
+                    rpc_op: RpcOpCode(0x77),
+                    params: Bytes::from_static(b"params"),
+                },
+            )
+            .unwrap();
+        let (comps, retx) = r.on_ack(
+            &mut st,
+            2,
+            pkts[0].psn,
+            Aeth {
+                syndrome: AethSyndrome::NakRemoteOperationalError,
+                msn: 0,
+            },
+        );
+        assert_eq!(comps, vec![Completion { wr_id, qpn: 2 }]);
+        assert!(retx.is_empty());
+        assert!(!r.has_outstanding(2));
+    }
+
+    #[test]
+    fn unknown_qp_rejected() {
+        let (mut st, mut r) = setup();
+        let err = r
+            .post(
+                &mut st,
+                5,
+                WorkRequest::Write {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 8,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, PostError::UnknownQp);
+    }
+}

@@ -1,0 +1,171 @@
+//! The Retransmission Timer: one countdown per queue pair.
+//!
+//! §4.1: "The Retransmission Timer implements one timer per queue pair to
+//! detect packet loss. The timers are implemented as an array of time
+//! intervals stored in on-chip memory. The Retransmission Timer module is
+//! continuously iterating over this array and decreasing the time
+//! intervals of all active timers. If any timer reaches zero an event is
+//! triggered and forwarded to the transmitting data path to retransmit the
+//! lost packet(s)."
+//!
+//! The hardware decrements in a scan loop; functionally that is a per-QP
+//! deadline, which is how we expose it (`expired` returns every QP whose
+//! deadline has passed). Timer values are opaque ticks — the NIC
+//! simulation feeds it simulated time.
+
+use strom_wire::bth::Qpn;
+
+/// Per-QP retransmission timers over an opaque monotonic tick domain.
+#[derive(Debug, Clone)]
+pub struct RetransmissionTimer {
+    /// `None` = inactive; `Some(deadline)` = armed.
+    deadlines: Vec<Option<u64>>,
+    /// The retransmission timeout added to "now" when arming.
+    timeout: u64,
+    /// Total number of expirations observed (diagnostics).
+    expirations: u64,
+}
+
+impl RetransmissionTimer {
+    /// Creates timers for `num_qps` queue pairs with the given timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero — a zero timeout would retransmit
+    /// everything instantly.
+    pub fn new(num_qps: usize, timeout: u64) -> Self {
+        assert!(timeout > 0, "retransmission timeout must be positive");
+        Self {
+            deadlines: vec![None; num_qps],
+            timeout,
+            expirations: 0,
+        }
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Arms (or re-arms) the timer for `qpn` at `now + timeout`.
+    ///
+    /// Called when a request packet is transmitted.
+    pub fn arm(&mut self, qpn: Qpn, now: u64) {
+        if let Some(slot) = self.deadlines.get_mut(qpn as usize) {
+            *slot = Some(now + self.timeout);
+        }
+    }
+
+    /// Disarms the timer for `qpn`.
+    ///
+    /// Called when every outstanding packet of the QP has been
+    /// acknowledged.
+    pub fn disarm(&mut self, qpn: Qpn) {
+        if let Some(slot) = self.deadlines.get_mut(qpn as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Whether the timer for `qpn` is armed.
+    pub fn is_armed(&self, qpn: Qpn) -> bool {
+        self.deadlines
+            .get(qpn as usize)
+            .map(|d| d.is_some())
+            .unwrap_or(false)
+    }
+
+    /// The earliest armed deadline, if any — the next time the simulation
+    /// must poll [`Self::expired`].
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.deadlines.iter().flatten().copied().min()
+    }
+
+    /// Collects every QP whose deadline has passed at `now`, disarming
+    /// each (the requester re-arms when it retransmits).
+    pub fn expired(&mut self, now: u64) -> Vec<Qpn> {
+        let mut out = Vec::new();
+        for (qpn, slot) in self.deadlines.iter_mut().enumerate() {
+            if let Some(deadline) = *slot {
+                if deadline <= now {
+                    *slot = None;
+                    self.expirations += 1;
+                    out.push(qpn as Qpn);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total expirations observed since construction.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_and_expire() {
+        let mut t = RetransmissionTimer::new(4, 100);
+        t.arm(2, 1000);
+        assert!(t.is_armed(2));
+        assert!(t.expired(1099).is_empty());
+        assert_eq!(t.expired(1100), vec![2]);
+        assert!(!t.is_armed(2), "expiry disarms");
+        assert_eq!(t.expirations(), 1);
+    }
+
+    #[test]
+    fn ack_disarms_before_expiry() {
+        let mut t = RetransmissionTimer::new(4, 100);
+        t.arm(1, 0);
+        t.disarm(1);
+        assert!(t.expired(1000).is_empty());
+    }
+
+    #[test]
+    fn rearm_pushes_deadline_out() {
+        let mut t = RetransmissionTimer::new(4, 100);
+        t.arm(0, 0);
+        t.arm(0, 50); // Retransmitted packet re-arms.
+        assert!(t.expired(100).is_empty());
+        assert_eq!(t.expired(150), vec![0]);
+    }
+
+    #[test]
+    fn multiple_qps_expire_together() {
+        let mut t = RetransmissionTimer::new(4, 10);
+        t.arm(0, 0);
+        t.arm(3, 0);
+        t.arm(1, 5);
+        let mut expired = t.expired(10);
+        expired.sort_unstable();
+        assert_eq!(expired, vec![0, 3]);
+        assert_eq!(t.expired(15), vec![1]);
+    }
+
+    #[test]
+    fn next_deadline_is_minimum() {
+        let mut t = RetransmissionTimer::new(4, 100);
+        assert_eq!(t.next_deadline(), None);
+        t.arm(0, 50);
+        t.arm(1, 10);
+        assert_eq!(t.next_deadline(), Some(110));
+    }
+
+    #[test]
+    fn out_of_range_qpn_is_ignored() {
+        let mut t = RetransmissionTimer::new(2, 10);
+        t.arm(9, 0);
+        assert!(!t.is_armed(9));
+        assert!(t.expired(100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_panics() {
+        let _ = RetransmissionTimer::new(1, 0);
+    }
+}

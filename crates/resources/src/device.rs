@@ -1,0 +1,80 @@
+//! The FPGA devices used in the paper, with their resource capacities.
+
+/// An FPGA device's resource capacities (and the calibration factors that
+/// capture toolchain/packing differences between device families).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Marketing name, e.g. "XCVU9P (VCU118)".
+    pub name: &'static str,
+    /// Available LUTs.
+    pub luts: u64,
+    /// Available flip-flops.
+    pub ffs: u64,
+    /// Available 36 Kb block RAMs.
+    pub bram36: u64,
+    /// LUT inflation factor of this device's toolchain relative to the
+    /// UltraScale+ baseline the model is calibrated on.
+    pub lut_factor: f64,
+    /// FF inflation factor.
+    pub ff_factor: f64,
+    /// BRAM packing factor (how many baseline BRAM equivalents one of
+    /// this device's BRAMs absorbs).
+    pub bram_factor: f64,
+}
+
+impl Device {
+    /// Xilinx UltraScale+ XCVU9P on the VCU118 board — the 100 G platform
+    /// and the common device of Table 3 (§7.1: "To have a fair resource
+    /// comparison … we compare the StRoM 100 G implementation on VCU118
+    /// with the StRoM 10 G implementation for the same FPGA").
+    pub fn xcvu9p() -> Self {
+        Device {
+            name: "XCVU9P (VCU118)",
+            luts: 1_182_240,
+            ffs: 2_364_480,
+            bram36: 2_160,
+            lut_factor: 1.0,
+            ff_factor: 1.0,
+            bram_factor: 1.0,
+        }
+    }
+
+    /// Xilinx Virtex-7 XC7VX690T on the Alpha Data ADM-PCIE-7V3 — the
+    /// 10 G prototype platform (§6.1). The older 7-series toolchain maps
+    /// the same RTL to ~13 % more LUTs, while its BRAM packing absorbs
+    /// the design into fewer RAMB36 blocks (calibrated against §6.1's
+    /// 24 % logic / 9 % BRAM at 500 QPs).
+    pub fn xc7vx690t() -> Self {
+        Device {
+            name: "XC7VX690T (ADM-PCIE-7V3)",
+            luts: 433_200,
+            ffs: 866_400,
+            bram36: 1_470,
+            lut_factor: 1.13,
+            ff_factor: 1.10,
+            bram_factor: 0.73,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_are_the_published_ones() {
+        let vu = Device::xcvu9p();
+        assert_eq!(vu.luts, 1_182_240);
+        assert_eq!(vu.bram36, 2_160);
+        let v7 = Device::xc7vx690t();
+        assert_eq!(v7.luts, 433_200);
+        assert_eq!(v7.bram36, 1_470);
+    }
+
+    #[test]
+    fn ultrascale_is_the_calibration_baseline() {
+        let vu = Device::xcvu9p();
+        assert_eq!(vu.lut_factor, 1.0);
+        assert_eq!(vu.bram_factor, 1.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The per-module cost model.
+
+use crate::device::Device;
+
+/// The design parameters that drive resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignConfig {
+    /// Datapath width in bytes (8 at 10 G, 64 at 100 G).
+    pub datapath_bytes: u64,
+    /// Number of supported queue pairs (a compile-time parameter, §4.1).
+    pub num_qps: u64,
+    /// TLB entries (16,384 default, §4.2).
+    pub tlb_entries: u64,
+}
+
+impl DesignConfig {
+    /// The 10 G design point of Table 3 (500 QPs).
+    pub fn ten_gig() -> Self {
+        DesignConfig {
+            datapath_bytes: 8,
+            num_qps: 500,
+            tlb_entries: 16_384,
+        }
+    }
+
+    /// The 100 G design point of Table 3 (500 QPs).
+    pub fn hundred_gig() -> Self {
+        DesignConfig {
+            datapath_bytes: 64,
+            num_qps: 500,
+            tlb_entries: 16_384,
+        }
+    }
+}
+
+/// Estimated usage on a concrete device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Usage {
+    /// LUTs consumed.
+    pub luts: u64,
+    /// Flip-flops consumed.
+    pub ffs: u64,
+    /// RAMB36 blocks consumed.
+    pub bram36: u64,
+    /// Fraction of the device's LUTs.
+    pub lut_fraction: f64,
+    /// Fraction of the device's FFs.
+    pub ff_fraction: f64,
+    /// Fraction of the device's BRAMs.
+    pub bram_fraction: f64,
+}
+
+/// One module's cost: a base plus width- and QP-proportional terms.
+#[derive(Debug, Clone, Copy)]
+pub struct ModuleCost {
+    /// Module name for breakdowns.
+    pub name: &'static str,
+    /// Base LUTs (at the 8 B datapath).
+    pub lut_base: f64,
+    /// Extra LUTs per datapath byte beyond 8.
+    pub lut_per_width_byte: f64,
+    /// Base FFs.
+    pub ff_base: f64,
+    /// Extra FFs per datapath byte beyond 8.
+    pub ff_per_width_byte: f64,
+    /// Base BRAMs.
+    pub bram_base: f64,
+    /// Extra BRAMs per datapath byte beyond 8 (wider FIFOs/buffers).
+    pub bram_per_width_byte: f64,
+}
+
+/// The resource model: module table plus per-QP and per-TLB-entry state.
+#[derive(Debug, Clone)]
+pub struct ResourceModel {
+    modules: Vec<ModuleCost>,
+    /// BRAM bits of state per queue pair: State Table (PSN windows for
+    /// both roles), MSN Table, Retransmission Timer, Multi-Queue metadata
+    /// — roughly 66 B per QP.
+    bram_bits_per_qp: f64,
+    /// LUTs per queue pair (address decoding grows slowly).
+    luts_per_qp: f64,
+    /// Bits per TLB entry (one 48-bit physical address, §4.2).
+    bits_per_tlb_entry: f64,
+}
+
+/// Bits per RAMB36.
+const BRAM_BITS: f64 = 36_864.0;
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResourceModel {
+    /// The model calibrated against Table 3 (VCU118, 500 QPs).
+    pub fn new() -> Self {
+        // Module constants in LUTs/FFs (absolute) and BRAMs, fitted so the
+        // totals land on Table 3; the split across modules follows the
+        // paper's description (the MAC and the RoCE pipelines scale with
+        // datapath width; the TLB and Controller do not, §7.1).
+        let modules = vec![
+            ModuleCost {
+                name: "ethernet-mac",
+                lut_base: 14_000.0,
+                lut_per_width_byte: 107.0,
+                ff_base: 18_000.0,
+                ff_per_width_byte: 286.0,
+                bram_base: 18.0,
+                bram_per_width_byte: 0.55,
+            },
+            ModuleCost {
+                name: "roce-rx-pipeline",
+                lut_base: 22_000.0,
+                lut_per_width_byte: 178.0,
+                ff_base: 28_000.0,
+                ff_per_width_byte: 500.0,
+                bram_base: 58.0,
+                bram_per_width_byte: 1.60,
+            },
+            ModuleCost {
+                name: "roce-tx-pipeline",
+                lut_base: 18_000.0,
+                lut_per_width_byte: 143.0,
+                ff_base: 22_000.0,
+                ff_per_width_byte: 393.0,
+                bram_base: 46.0,
+                bram_per_width_byte: 1.20,
+            },
+            ModuleCost {
+                name: "dma-engine",
+                lut_base: 20_000.0,
+                lut_per_width_byte: 36.0,
+                ff_base: 28_000.0,
+                ff_per_width_byte: 214.0,
+                bram_base: 26.0,
+                bram_per_width_byte: 0.63,
+            },
+            ModuleCost {
+                name: "controller",
+                lut_base: 4_000.0,
+                lut_per_width_byte: 0.0,
+                ff_base: 5_000.0,
+                ff_per_width_byte: 18.0,
+                bram_base: 2.0,
+                bram_per_width_byte: 0.0,
+            },
+            ModuleCost {
+                name: "strom-arbitration",
+                lut_base: 8_000.0,
+                lut_per_width_byte: 71.0,
+                ff_base: 6_000.0,
+                ff_per_width_byte: 321.0,
+                bram_base: 2.0,
+                bram_per_width_byte: 0.0,
+            },
+            ModuleCost {
+                name: "tlb",
+                lut_base: 6_000.0,
+                lut_per_width_byte: 0.0,
+                ff_base: 8_000.0,
+                ff_per_width_byte: 36.0,
+                bram_base: 0.0, // Counted via bits_per_tlb_entry.
+                bram_per_width_byte: 0.0,
+            },
+        ];
+        Self {
+            modules,
+            bram_bits_per_qp: 527.0,
+            luts_per_qp: 0.2,
+            bits_per_tlb_entry: 48.0,
+        }
+    }
+
+    /// The per-module cost table (for breakdown reports).
+    pub fn modules(&self) -> &[ModuleCost] {
+        &self.modules
+    }
+
+    /// Estimates the NIC's usage for `cfg` on `device`.
+    pub fn estimate(&self, cfg: &DesignConfig, device: Device) -> Usage {
+        let dw = (cfg.datapath_bytes.saturating_sub(8)) as f64;
+        let mut luts = 0.0;
+        let mut ffs = 0.0;
+        let mut bram = 0.0;
+        for m in &self.modules {
+            luts += m.lut_base + m.lut_per_width_byte * dw;
+            ffs += m.ff_base + m.ff_per_width_byte * dw;
+            bram += m.bram_base + m.bram_per_width_byte * dw;
+        }
+        luts += self.luts_per_qp * cfg.num_qps as f64;
+        bram += self.bram_bits_per_qp * cfg.num_qps as f64 / BRAM_BITS;
+        bram += (self.bits_per_tlb_entry * cfg.tlb_entries as f64 / BRAM_BITS).ceil();
+
+        let luts = (luts * device.lut_factor).round() as u64;
+        let ffs = (ffs * device.ff_factor).round() as u64;
+        let bram36 = (bram * device.bram_factor).ceil() as u64;
+        Usage {
+            luts,
+            ffs,
+            bram36,
+            lut_fraction: luts as f64 / device.luts as f64,
+            ff_fraction: ffs as f64 / device.ffs as f64,
+            bram_fraction: bram36 as f64 / device.bram36 as f64,
+        }
+    }
+
+    /// Estimates the extra resources a kernel with `state_bits` of on-chip
+    /// state and roughly `relative_logic` of the RoCE stack's logic needs
+    /// — used to check that kernels fit next to the NIC (§3.4's first
+    /// condition).
+    pub fn kernel_overhead(&self, state_bits: u64, relative_logic: f64) -> (u64, u64) {
+        let luts = (40_000.0 * relative_logic).round() as u64;
+        let brams = (state_bits as f64 / BRAM_BITS).ceil() as u64;
+        (luts, brams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_growth_is_monotone() {
+        let m = ResourceModel::new();
+        let d = Device::xcvu9p();
+        let mut prev = 0u64;
+        for w in [8u64, 16, 32, 64] {
+            let u = m.estimate(
+                &DesignConfig {
+                    datapath_bytes: w,
+                    num_qps: 500,
+                    tlb_entries: 16_384,
+                },
+                d,
+            );
+            assert!(u.luts > prev, "width {w}");
+            prev = u.luts;
+        }
+    }
+
+    #[test]
+    fn tlb_contributes_22_brams() {
+        // 16,384 entries × 48 bits = 786 Kb → 22 RAMB36 (§4.2's 32 GB).
+        let m = ResourceModel::new();
+        let d = Device::xcvu9p();
+        let with = m.estimate(&DesignConfig::ten_gig(), d);
+        let without = m.estimate(
+            &DesignConfig {
+                tlb_entries: 0,
+                ..DesignConfig::ten_gig()
+            },
+            d,
+        );
+        assert_eq!(with.bram36 - without.bram36, 22);
+    }
+
+    #[test]
+    fn qp_state_is_about_66_bytes() {
+        let m = ResourceModel::new();
+        assert!((500.0..560.0).contains(&m.bram_bits_per_qp));
+    }
+
+    #[test]
+    fn kernel_overhead_is_additive() {
+        let m = ResourceModel::new();
+        // The HLL kernel: 16,384 registers × 6 bits ≈ 3 BRAMs.
+        let (luts, brams) = m.kernel_overhead(16_384 * 6, 0.15);
+        assert_eq!(brams, 3);
+        assert!(luts > 0);
+        // The whole NIC + a couple of kernels still fits a mid-range
+        // device with room to spare ("allowing the deployment of multiple
+        // StRoM kernels", §6.1).
+        let u = m.estimate(&DesignConfig::ten_gig(), Device::xc7vx690t());
+        assert!(u.lut_fraction + 4.0 * luts as f64 / 433_200.0 < 0.6);
+    }
+
+    #[test]
+    fn module_breakdown_sums_to_total() {
+        let m = ResourceModel::new();
+        let d = Device::xcvu9p();
+        let cfg = DesignConfig::ten_gig();
+        let total = m.estimate(&cfg, d);
+        let module_luts: f64 = m.modules().iter().map(|x| x.lut_base).sum();
+        assert!(module_luts as u64 <= total.luts);
+    }
+}

@@ -1,0 +1,206 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events are ordered by (time, insertion sequence): two events scheduled
+//! for the same instant fire in the order they were scheduled, which makes
+//! simulations reproducible regardless of payload type.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Time, TimeDelta};
+
+/// An event together with its firing time and a tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Absolute simulated time at which the event fires.
+    pub at: Time,
+    /// Monotonic insertion sequence; breaks ties deterministically.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that the `BinaryHeap` (a max-heap) pops the earliest
+        // event first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A priority queue of timed events with a monotonically advancing clock.
+///
+/// # Examples
+///
+/// ```
+/// use strom_sim::EventQueue;
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(100, "b");
+/// q.schedule_at(50, "a");
+/// assert_eq!(q.pop().map(|s| (s.at, s.event)), Some((50, "a")));
+/// assert_eq!(q.now(), 50);
+/// assert_eq!(q.pop().map(|s| (s.at, s.event)), Some((100, "b")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: Time,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time (the firing time of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` — hardware cannot react
+    /// retroactively, and clamping keeps the clock monotonic.
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: TimeDelta, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its time.
+    ///
+    /// If the clock was moved past the event's firing time by
+    /// [`Self::advance_to`], the event still pops (in order) and the clock
+    /// simply does not move backwards.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let s = self.heap.pop()?;
+        self.now = self.now.max(s.at);
+        self.processed += 1;
+        Some(s)
+    }
+
+    /// Advances the clock to `t` without processing events — used to model
+    /// host CPU work happening between simulated I/O (e.g. a software
+    /// CRC64 pass). Never moves the clock backwards.
+    pub fn advance_to(&mut self, t: Time) {
+        self.now = self.now.max(t);
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, 3);
+        q.schedule_at(10, 1);
+        q.schedule_at(20, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(42, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, ());
+        q.schedule_at(5, ());
+        q.pop();
+        assert_eq!(q.now(), 5);
+        // Scheduling in the past is clamped to now.
+        q.schedule_at(1, ());
+        let s = q.pop().unwrap();
+        assert_eq!(s.at, 5);
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 10);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, "first");
+        q.pop();
+        q.schedule_in(25, "second");
+        assert_eq!(q.pop().unwrap().at, 125);
+    }
+
+    #[test]
+    fn counters_track_processing() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, ());
+        q.schedule_at(2, ());
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.processed(), 0);
+        q.pop();
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.processed(), 1);
+        assert_eq!(q.peek_time(), Some(2));
+    }
+}

@@ -1,0 +1,153 @@
+//! A bounded FIFO mirroring the HLS `stream<>` objects of the paper.
+//!
+//! StRoM kernels are written in Vivado HLS where `stream<T>` maps to a
+//! hardware FIFO with finite depth; producers stall when the FIFO is full
+//! and consumers stall when it is empty (Listing 1 of the paper). The
+//! simulation uses [`Fifo`] both inside kernels and between pipeline
+//! stages, and the `full`/`empty` checks reproduce the back-pressure
+//! behaviour that HLS `!stream.empty()` guards express.
+
+use std::collections::VecDeque;
+
+/// A bounded, single-clock-domain FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use strom_sim::Fifo;
+/// let mut f: Fifo<u32> = Fifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert!(f.push(3).is_err(), "full FIFO rejects a third element");
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    high_watermark: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a depth-0 FIFO cannot exist in
+    /// hardware.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Self {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            high_watermark: 0,
+        }
+    }
+
+    /// The configured capacity (hardware FIFO depth).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of queued elements.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO holds no elements (HLS `stream::empty()`).
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity (HLS `stream::full()`).
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// The deepest occupancy ever observed (for sizing reports).
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+
+    /// Enqueues `value`, or returns it back if the FIFO is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(value);
+        }
+        self.queue.push_back(value);
+        self.high_watermark = self.high_watermark.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the oldest element without consuming it.
+    pub fn front(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Drains all queued elements in order.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.queue.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_fifo() {
+        let mut f = Fifo::new(8);
+        for i in 0..5 {
+            f.push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_fifo_rejects_and_returns_value() {
+        let mut f = Fifo::new(1);
+        f.push("a").unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push("b"), Err("b"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.high_watermark(), 2);
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.push(7).unwrap();
+        assert_eq!(f.front(), Some(&7));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        assert_eq!(f.drain().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic discrete-event simulation (DES) engine for StRoM.
+//!
+//! The StRoM paper evaluates real FPGA hardware; this crate provides the
+//! substrate that replaces the testbed: a picosecond-resolution simulated
+//! clock, a deterministic event queue, bandwidth/latency primitives that
+//! model serialization over links and buses, bounded FIFOs mirroring the
+//! HLS `stream<>` objects, and latency statistics matching the paper's
+//! reporting style (median with 1st/99th-percentile whiskers).
+//!
+//! Everything in this crate is deterministic: two runs with the same seed
+//! produce identical event orders and identical statistics, which the
+//! property tests rely on.
+
+pub mod event;
+pub mod fifo;
+pub mod rate;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, Scheduled};
+pub use fifo::Fifo;
+pub use rate::{Bandwidth, LinkSerializer};
+pub use rng::SimRng;
+pub use stats::{LatencySummary, Samples};
+pub use time::{Clock, Time, TimeDelta};

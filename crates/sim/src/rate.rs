@@ -1,0 +1,197 @@
+//! Bandwidth and serialization models for links and buses.
+//!
+//! A 10 G Ethernet port, a 100 G CMAC, and a PCIe Gen3 link all share the
+//! same first-order model: bytes are serialized at a fixed rate onto a
+//! shared medium, so a transmission occupies the medium for
+//! `bytes / bandwidth` and back-to-back transmissions queue behind each
+//! other. [`LinkSerializer`] captures exactly that "busy until" behaviour.
+
+use crate::time::{Time, TimeDelta};
+
+/// A data rate, stored as bits per second.
+///
+/// # Examples
+///
+/// ```
+/// use strom_sim::Bandwidth;
+/// let tenge = Bandwidth::gbit_per_sec(10.0);
+/// // 1250 bytes at 10 Gbit/s take exactly 1 us.
+/// assert_eq!(tenge.transfer_time_ps(1250), 1_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bandwidth {
+    bits_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from Gbit/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not strictly positive.
+    pub fn gbit_per_sec(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "bandwidth must be positive");
+        Self {
+            bits_per_sec: gbps * 1e9,
+        }
+    }
+
+    /// Creates a bandwidth from GB/s (gigabytes per second).
+    pub fn gbyte_per_sec(gbps: f64) -> Self {
+        Self::gbit_per_sec(gbps * 8.0)
+    }
+
+    /// The rate in Gbit/s.
+    pub fn as_gbit_per_sec(&self) -> f64 {
+        self.bits_per_sec / 1e9
+    }
+
+    /// The time to serialize `bytes` at this rate, in picoseconds
+    /// (rounded up so a transfer never takes zero time).
+    pub fn transfer_time_ps(&self, bytes: u64) -> TimeDelta {
+        if bytes == 0 {
+            return 0;
+        }
+        let ps = (bytes as f64 * 8.0) / self.bits_per_sec * 1e12;
+        (ps.ceil() as TimeDelta).max(1)
+    }
+
+    /// The sustained rate in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bits_per_sec / 8.0
+    }
+}
+
+/// Serializes transmissions onto a shared medium, queueing behind earlier
+/// ones — the core of the link, PCIe, and memory-bus models.
+///
+/// `admit` returns the interval `[start, end)` during which the given
+/// transmission occupies the medium when submitted at `now`: it starts at
+/// `max(now, busy_until)` and holds the medium for the serialization time.
+#[derive(Debug, Clone)]
+pub struct LinkSerializer {
+    bandwidth: Bandwidth,
+    busy_until: Time,
+    /// Total bytes admitted, for utilization reports.
+    bytes_total: u64,
+}
+
+impl LinkSerializer {
+    /// Creates an idle serializer with the given bandwidth.
+    pub fn new(bandwidth: Bandwidth) -> Self {
+        Self {
+            bandwidth,
+            busy_until: 0,
+            bytes_total: 0,
+        }
+    }
+
+    /// The configured bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// The time until which the medium is currently occupied.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Total bytes admitted so far.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_total
+    }
+
+    /// Admits a transmission of `bytes` submitted at `now`; returns
+    /// `(start, end)` of its occupancy of the medium.
+    pub fn admit(&mut self, now: Time, bytes: u64) -> (Time, Time) {
+        self.admit_with_overhead(now, bytes, 0)
+    }
+
+    /// Admits a transmission that also occupies the medium for a fixed
+    /// per-command `overhead` (descriptor processing, TLP headers) — the
+    /// cost that makes small random DMA commands so much less efficient
+    /// than sequential streams.
+    pub fn admit_with_overhead(&mut self, now: Time, bytes: u64, overhead: Time) -> (Time, Time) {
+        let start = now.max(self.busy_until);
+        let end = start + self.bandwidth.transfer_time_ps(bytes) + overhead;
+        self.busy_until = end;
+        self.bytes_total += bytes;
+        (start, end)
+    }
+
+    /// Resets occupancy and counters (for reusing a testbed across runs).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.bytes_total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MICROS;
+
+    #[test]
+    fn ten_gig_serialization_times() {
+        let bw = Bandwidth::gbit_per_sec(10.0);
+        assert_eq!(bw.transfer_time_ps(1250), MICROS);
+        // 64 B at 10 Gbit/s = 51.2 ns.
+        assert_eq!(bw.transfer_time_ps(64), 51_200);
+        assert_eq!(bw.transfer_time_ps(0), 0);
+    }
+
+    #[test]
+    fn gbyte_constructor_matches_gbit() {
+        let a = Bandwidth::gbyte_per_sec(1.0);
+        let b = Bandwidth::gbit_per_sec(8.0);
+        assert_eq!(a.transfer_time_ps(1000), b.transfer_time_ps(1000));
+    }
+
+    #[test]
+    fn tiny_transfers_take_at_least_one_ps() {
+        let bw = Bandwidth::gbit_per_sec(100.0);
+        assert!(bw.transfer_time_ps(1) >= 1);
+    }
+
+    #[test]
+    fn serializer_queues_back_to_back() {
+        let mut link = LinkSerializer::new(Bandwidth::gbit_per_sec(10.0));
+        let (s1, e1) = link.admit(0, 1250);
+        assert_eq!((s1, e1), (0, MICROS));
+        // Submitted while busy: starts when the first ends.
+        let (s2, e2) = link.admit(100, 1250);
+        assert_eq!((s2, e2), (MICROS, 2 * MICROS));
+        // Submitted after idle: starts immediately.
+        let (s3, _) = link.admit(5 * MICROS, 1250);
+        assert_eq!(s3, 5 * MICROS);
+        assert_eq!(link.bytes_total(), 3750);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut link = LinkSerializer::new(Bandwidth::gbit_per_sec(10.0));
+        link.admit(0, 10_000);
+        link.reset();
+        assert_eq!(link.busy_until(), 0);
+        assert_eq!(link.bytes_total(), 0);
+    }
+
+    #[test]
+    fn utilization_approaches_line_rate() {
+        // Admitting 1 MiB in MTU-sized chunks back-to-back must finish in
+        // almost exactly size/bandwidth.
+        let mut link = LinkSerializer::new(Bandwidth::gbit_per_sec(10.0));
+        let total: u64 = 1 << 20;
+        let mut sent = 0;
+        let mut end = 0;
+        while sent < total {
+            let chunk = 1500.min(total - sent);
+            let (_, e) = link.admit(0, chunk);
+            end = e;
+            sent += chunk;
+        }
+        let ideal = Bandwidth::gbit_per_sec(10.0).transfer_time_ps(total);
+        assert!(end >= ideal);
+        assert!(end < ideal + 1000, "rounding should cost <1ns total");
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text rendering of figure series and tables.
+//!
+//! The benchmark harness regenerates every figure of the paper as a data
+//! series; this module renders them as aligned text tables so the output of
+//! `figures` can be diffed against `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A named data series: one line of a figure (e.g. "StRoM: Write").
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// One value per x-axis point (`None` renders as a dash).
+    pub values: Vec<Option<f64>>,
+}
+
+impl Series {
+    /// Creates a series from a label and values.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            label: label.into(),
+            values: values.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Creates a series that may have missing points.
+    pub fn with_gaps(label: impl Into<String>, values: Vec<Option<f64>>) -> Self {
+        Self {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A rendered figure: title, x-axis labels, unit, and one or more series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Title, e.g. "Fig 7: remote linked-list traversal".
+    pub title: String,
+    /// Label of the x axis, e.g. "list length".
+    pub x_label: String,
+    /// The x-axis tick labels, e.g. `["4", "8", "16", "32"]`.
+    pub x_ticks: Vec<String>,
+    /// Unit of the y values, e.g. "us" or "Gbit/s".
+    pub y_unit: String,
+    /// The data series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        x_ticks: Vec<String>,
+        y_unit: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            x_ticks,
+            y_unit: y_unit.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series and returns `self` for chaining.
+    pub fn push_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the figure as an aligned text table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a series has a different length than `x_ticks` — that is a
+    /// harness bug, not a data condition.
+    pub fn render(&self) -> String {
+        for s in &self.series {
+            assert_eq!(
+                s.values.len(),
+                self.x_ticks.len(),
+                "series '{}' does not match the x axis",
+                s.label
+            );
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let label_w = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .chain([self.x_label.len()])
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let col_w = self
+            .x_ticks
+            .iter()
+            .map(|t| t.len())
+            .max()
+            .unwrap_or(8)
+            .max(9);
+        let _ = write!(out, "{:label_w$}", self.x_label);
+        for t in &self.x_ticks {
+            let _ = write!(out, "  {t:>col_w$}");
+        }
+        let _ = writeln!(out, "  [{}]", self.y_unit);
+        for s in &self.series {
+            let _ = write!(out, "{:label_w$}", s.label);
+            for v in &s.values {
+                match v {
+                    Some(v) => {
+                        let _ = write!(out, "  {v:>col_w$.3}");
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>col_w$}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a simple two-dimensional table with row and column headers.
+pub fn render_table(title: &str, col_headers: &[&str], rows: &[(String, Vec<String>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let row_w = rows.iter().map(|(h, _)| h.len()).max().unwrap_or(4).max(4);
+    let mut col_ws: Vec<usize> = col_headers.iter().map(|h| h.len()).collect();
+    for (_, cells) in rows {
+        for (i, c) in cells.iter().enumerate() {
+            if i < col_ws.len() {
+                col_ws[i] = col_ws[i].max(c.len());
+            }
+        }
+    }
+    let _ = write!(out, "{:row_w$}", "");
+    for (h, w) in col_headers.iter().zip(&col_ws) {
+        let _ = write!(out, "  {h:>w$}");
+    }
+    out.push('\n');
+    for (h, cells) in rows {
+        let _ = write!(out, "{h:row_w$}");
+        for (c, w) in cells.iter().zip(&col_ws) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_renders_all_series() {
+        let fig = Figure::new("Fig X", "payload", vec!["64B".into(), "128B".into()], "us")
+            .push_series(Series::new("write", vec![1.5, 2.5]))
+            .push_series(Series::with_gaps("read", vec![Some(2.0), None]));
+        let text = fig.render();
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("write"));
+        assert!(text.contains("1.500"));
+        assert!(text.contains('-'), "gap must render as a dash");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_series_length_panics() {
+        let fig = Figure::new("t", "x", vec!["a".into()], "u")
+            .push_series(Series::new("s", vec![1.0, 2.0]));
+        let _ = fig.render();
+    }
+
+    #[test]
+    fn table_renders_headers_and_cells() {
+        let text = render_table(
+            "Table 3",
+            &["LUTs", "BRAMs"],
+            &[
+                ("10 G".to_string(), vec!["92K".into(), "181".into()]),
+                ("100 G".to_string(), vec!["122K".into(), "402".into()]),
+            ],
+        );
+        assert!(text.contains("Table 3"));
+        assert!(text.contains("92K"));
+        assert!(text.contains("402"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic random-number generation for workloads and fault injection.
+//!
+//! All randomness in the simulator flows through [`SimRng`], a thin wrapper
+//! over a seeded PCG-family generator, so that every experiment is exactly
+//! reproducible from its seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded simulation RNG.
+///
+/// # Examples
+///
+/// ```
+/// use strom_sim::SimRng;
+/// let mut a = SimRng::seed(7);
+/// let mut b = SimRng::seed(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a uniformly distributed `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Draws a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Draws a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen_bool(p)
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill(buf);
+    }
+
+    /// Draws from an exponential distribution with the given mean
+    /// (used for randomized think times).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Permutes `slice` uniformly at random (Fisher-Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(123);
+        let mut b = SimRng::seed(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SimRng::seed(9);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // p = 0.5 should be roughly balanced.
+        let hits = (0..10_000).filter(|_| rng.chance(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut rng = SimRng::seed(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed(42);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+}

@@ -1,0 +1,219 @@
+//! Latency and throughput statistics in the paper's reporting style.
+//!
+//! Every latency figure in the paper reports the **median** with **1st and
+//! 99th percentile** whiskers (Figs 5, 7, 8, 9, 12); [`Samples`] collects
+//! raw observations and [`LatencySummary`] condenses them the same way.
+
+use crate::time::Time;
+
+/// A collection of raw samples (latencies in picoseconds, or any metric).
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<u64>,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+    }
+
+    /// The number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Read-only access to the raw values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by the nearest-rank method.
+    ///
+    /// Returns `None` on an empty sample set.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// The arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().map(|&v| v as f64).sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Condenses into the paper's median/p1/p99 summary.
+    ///
+    /// Returns `None` on an empty sample set.
+    pub fn summarize(&self) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            median: self.quantile(0.5)?,
+            p01: self.quantile(0.01)?,
+            p99: self.quantile(0.99)?,
+            mean: self.mean()?,
+            count: self.values.len(),
+        })
+    }
+}
+
+/// Median / 1st percentile / 99th percentile, as reported in the paper's
+/// latency plots, plus the mean (used by Fig 10, which reports averages).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median observation.
+    pub median: u64,
+    /// 1st-percentile observation (lower whisker).
+    pub p01: u64,
+    /// 99th-percentile observation (upper whisker).
+    pub p99: u64,
+    /// Arithmetic mean (Fig 10 reports average latency).
+    pub mean: f64,
+    /// Number of observations summarized.
+    pub count: usize,
+}
+
+impl LatencySummary {
+    /// Median in microseconds (latencies are recorded in picoseconds).
+    pub fn median_us(&self) -> f64 {
+        self.median as f64 / 1e6
+    }
+
+    /// 1st percentile in microseconds.
+    pub fn p01_us(&self) -> f64 {
+        self.p01 as f64 / 1e6
+    }
+
+    /// 99th percentile in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.p99 as f64 / 1e6
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean / 1e6
+    }
+}
+
+/// Computes goodput in Gbit/s for `bytes` of payload delivered over the
+/// simulated interval `[start, end]`.
+///
+/// Returns 0 for an empty interval.
+pub fn goodput_gbps(bytes: u64, start: Time, end: Time) -> f64 {
+    if end <= start {
+        return 0.0;
+    }
+    let secs = (end - start) as f64 / 1e12;
+    bytes as f64 * 8.0 / 1e9 / secs
+}
+
+/// Computes a message rate in million messages per second over the
+/// simulated interval `[start, end]`.
+pub fn msg_rate_mps(messages: u64, start: Time, end: Time) -> f64 {
+    if end <= start {
+        return 0.0;
+    }
+    let secs = (end - start) as f64 / 1e12;
+    messages as f64 / 1e6 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.5), Some(50));
+        assert_eq!(s.quantile(0.01), Some(1));
+        assert_eq!(s.quantile(0.99), Some(99));
+        assert_eq!(s.quantile(1.0), Some(100));
+        assert_eq!(s.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn empty_samples_have_no_summary() {
+        let s = Samples::new();
+        assert!(s.summarize().is_none());
+        assert!(s.quantile(0.5).is_none());
+        assert!(s.mean().is_none());
+    }
+
+    #[test]
+    fn summary_fields() {
+        let mut s = Samples::new();
+        for v in [10u64, 20, 30] {
+            s.record(v);
+        }
+        let sum = s.summarize().unwrap();
+        assert_eq!(sum.median, 20);
+        assert_eq!(sum.p01, 10);
+        assert_eq!(sum.p99, 30);
+        assert!((sum.mean - 20.0).abs() < 1e-9);
+        assert_eq!(sum.count, 3);
+    }
+
+    #[test]
+    fn summary_unit_conversions() {
+        let sum = LatencySummary {
+            median: 3_000_000,
+            p01: 1_000_000,
+            p99: 9_000_000,
+            mean: 4_000_000.0,
+            count: 1,
+        };
+        assert!((sum.median_us() - 3.0).abs() < 1e-12);
+        assert!((sum.p01_us() - 1.0).abs() < 1e-12);
+        assert!((sum.p99_us() - 9.0).abs() < 1e-12);
+        assert!((sum.mean_us() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_math() {
+        // 1.25 GB in 1 s = 10 Gbit/s.
+        let g = goodput_gbps(1_250_000_000, 0, 1_000_000_000_000);
+        assert!((g - 10.0).abs() < 1e-9);
+        assert_eq!(goodput_gbps(100, 5, 5), 0.0);
+    }
+
+    #[test]
+    fn msg_rate_math() {
+        // 8 M messages in 1 s = 8 Mmsg/s.
+        let r = msg_rate_mps(8_000_000, 0, 1_000_000_000_000);
+        assert!((r - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut s = Samples::new();
+        for v in [5u64, 1, 9, 7, 3, 8, 2, 6, 4] {
+            s.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=10 {
+            let q = s.quantile(i as f64 / 10.0).unwrap();
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+}

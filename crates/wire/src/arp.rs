@@ -1,0 +1,228 @@
+//! Minimal ARP for IPv4-over-Ethernet address resolution.
+//!
+//! The paper reuses an open-source ARP module for "seamless integration
+//! into the network infrastructure" (§4.1). The testbed is a direct
+//! two-node link, so this is a small request/reply codec plus a resolution
+//! cache — enough to exercise the bring-up path in the examples.
+
+use crate::ethernet::MacAddr;
+use crate::ipv4::Ipv4Addr;
+
+/// Length of an ARP packet for IPv4 over Ethernet.
+pub const ARP_LEN: usize = 28;
+
+/// An ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request.
+    Request,
+    /// Is-at reply.
+    Reply,
+}
+
+/// An ARP packet (IPv4 over Ethernet only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr([0; 6]),
+            target_ip,
+        }
+    }
+
+    /// Builds the reply answering `request` with our own addresses.
+    pub fn reply_to(&self, my_mac: MacAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+
+    /// Encodes into the 28-byte wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ARP_LEN);
+        out.extend_from_slice(&1u16.to_be_bytes()); // HTYPE Ethernet.
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // PTYPE IPv4.
+        out.push(6); // HLEN.
+        out.push(4); // PLEN.
+        let op: u16 = match self.op {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        };
+        out.extend_from_slice(&op.to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.0);
+        out.extend_from_slice(&self.sender_ip.0);
+        out.extend_from_slice(&self.target_mac.0);
+        out.extend_from_slice(&self.target_ip.0);
+        out
+    }
+
+    /// Parses the wire format.
+    pub fn parse(buf: &[u8]) -> Option<ArpPacket> {
+        if buf.len() < ARP_LEN {
+            return None;
+        }
+        if buf[0..6] != [0, 1, 0x08, 0x00, 6, 4] {
+            return None;
+        }
+        let op = match u16::from_be_bytes([buf[6], buf[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            _ => return None,
+        };
+        let mac6 = |i: usize| {
+            let mut m = [0u8; 6];
+            m.copy_from_slice(&buf[i..i + 6]);
+            MacAddr(m)
+        };
+        let ip4 = |i: usize| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(&buf[i..i + 4]);
+            Ipv4Addr(a)
+        };
+        Some(ArpPacket {
+            op,
+            sender_mac: mac6(8),
+            sender_ip: ip4(14),
+            target_mac: mac6(18),
+            target_ip: ip4(24),
+        })
+    }
+}
+
+/// A small IPv4 → MAC resolution cache.
+#[derive(Debug, Default)]
+pub struct ArpCache {
+    entries: Vec<(Ipv4Addr, MacAddr)>,
+}
+
+impl ArpCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the MAC for `ip`.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.entries.iter().find(|(i, _)| *i == ip).map(|(_, m)| *m)
+    }
+
+    /// Inserts or updates a mapping.
+    pub fn insert(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        if let Some(e) = self.entries.iter_mut().find(|(i, _)| *i == ip) {
+            e.1 = mac;
+        } else {
+            self.entries.push((ip, mac));
+        }
+    }
+
+    /// Learns from a received ARP packet (sender mapping) and produces the
+    /// reply if the packet is a request addressed to `my_ip`.
+    pub fn on_packet(
+        &mut self,
+        pkt: &ArpPacket,
+        my_ip: Ipv4Addr,
+        my_mac: MacAddr,
+    ) -> Option<ArpPacket> {
+        self.insert(pkt.sender_ip, pkt.sender_mac);
+        if pkt.op == ArpOp::Request && pkt.target_ip == my_ip {
+            Some(pkt.reply_to(my_mac))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: u8) -> (MacAddr, Ipv4Addr) {
+        (MacAddr::from_node_id(n as u32), Ipv4Addr::from_node_id(n))
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let (mac1, ip1) = addrs(1);
+        let (mac2, ip2) = addrs(2);
+        let req = ArpPacket::request(mac1, ip1, ip2);
+        let parsed = ArpPacket::parse(&req.encode()).unwrap();
+        assert_eq!(parsed, req);
+        let reply = parsed.reply_to(mac2);
+        assert_eq!(reply.op, ArpOp::Reply);
+        assert_eq!(reply.sender_mac, mac2);
+        assert_eq!(reply.target_mac, mac1);
+        let parsed_reply = ArpPacket::parse(&reply.encode()).unwrap();
+        assert_eq!(parsed_reply, reply);
+    }
+
+    #[test]
+    fn cache_resolution_flow() {
+        let (mac1, ip1) = addrs(1);
+        let (mac2, ip2) = addrs(2);
+        let mut cache1 = ArpCache::new();
+        let mut cache2 = ArpCache::new();
+        assert!(cache1.lookup(ip2).is_none());
+        let req = ArpPacket::request(mac1, ip1, ip2);
+        // Node 2 learns node 1 and answers.
+        let reply = cache2.on_packet(&req, ip2, mac2).unwrap();
+        assert_eq!(cache2.lookup(ip1), Some(mac1));
+        // Node 1 learns node 2 from the reply (no further answer).
+        assert!(cache1.on_packet(&reply, ip1, mac1).is_none());
+        assert_eq!(cache1.lookup(ip2), Some(mac2));
+    }
+
+    #[test]
+    fn request_for_other_host_is_ignored() {
+        let (mac1, ip1) = addrs(1);
+        let (mac3, ip3) = addrs(3);
+        let req = ArpPacket::request(mac1, ip1, ip3);
+        let mut cache2 = ArpCache::new();
+        let (mac2, ip2) = addrs(2);
+        assert!(cache2.on_packet(&req, ip2, mac2).is_none());
+        // But the sender is still learned.
+        assert_eq!(cache2.lookup(ip1), Some(mac1));
+        let _ = mac3;
+    }
+
+    #[test]
+    fn malformed_packets_rejected() {
+        assert!(ArpPacket::parse(&[0u8; 27]).is_none());
+        let (mac1, ip1) = addrs(1);
+        let mut buf = ArpPacket::request(mac1, ip1, ip1).encode();
+        buf[7] = 9; // Unknown op.
+        assert!(ArpPacket::parse(&buf).is_none());
+        buf[7] = 1;
+        buf[4] = 8; // Wrong HLEN.
+        assert!(ArpPacket::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn insert_updates_existing_entry() {
+        let mut cache = ArpCache::new();
+        let (_, ip) = addrs(5);
+        cache.insert(ip, MacAddr::from_node_id(5));
+        cache.insert(ip, MacAddr::from_node_id(6));
+        assert_eq!(cache.lookup(ip), Some(MacAddr::from_node_id(6)));
+    }
+}

@@ -1,0 +1,294 @@
+//! Infiniband transport headers: BTH, RETH, and AETH.
+//!
+//! These are the headers the Process BTH / Process RETH/AETH and Generate
+//! BTH / Generate RETH/AETH pipeline stages of Figure 2 handle. Field
+//! layouts follow the IB specification (the subset StRoM implements).
+
+use crate::opcode::Opcode;
+
+/// Length of the Base Transport Header.
+pub const BTH_LEN: usize = 12;
+
+/// Length of the RDMA Extended Transport Header.
+pub const RETH_LEN: usize = 16;
+
+/// Length of the ACK Extended Transport Header.
+pub const AETH_LEN: usize = 4;
+
+/// A queue pair number (24 bits on the wire).
+pub type Qpn = u32;
+
+/// A packet sequence number (24 bits on the wire, wrapping).
+pub type Psn = u32;
+
+/// Mask for 24-bit wire fields (QPN, PSN, MSN).
+pub const MASK_24: u32 = 0x00ff_ffff;
+
+/// The Base Transport Header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bth {
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Destination queue pair number (24 bits).
+    pub dest_qp: Qpn,
+    /// Packet sequence number (24 bits).
+    pub psn: Psn,
+    /// Whether the responder must acknowledge this packet.
+    pub ack_req: bool,
+    /// Partition key (constant `0xffff` in StRoM, the default partition).
+    pub pkey: u16,
+}
+
+impl Bth {
+    /// Creates a BTH with the default partition key.
+    pub fn new(opcode: Opcode, dest_qp: Qpn, psn: Psn, ack_req: bool) -> Self {
+        Bth {
+            opcode,
+            dest_qp: dest_qp & MASK_24,
+            psn: psn & MASK_24,
+            ack_req,
+            pkey: 0xffff,
+        }
+    }
+
+    /// Encodes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.opcode.to_wire());
+        out.push(0x40); // Flags: migration state = migrated, pad 0, tver 0.
+        out.extend_from_slice(&self.pkey.to_be_bytes());
+        let qp = self.dest_qp & MASK_24;
+        out.push(0); // Reserved.
+        out.extend_from_slice(&qp.to_be_bytes()[1..4]);
+        let psn = self.psn & MASK_24;
+        out.push(if self.ack_req { 0x80 } else { 0x00 });
+        out.extend_from_slice(&psn.to_be_bytes()[1..4]);
+    }
+
+    /// Parses a BTH; returns `(header, rest)`.
+    ///
+    /// Unknown or reserved op-codes fail to parse — the hardware drops such
+    /// packets in the Process BTH stage.
+    pub fn parse(buf: &[u8]) -> Option<(Bth, &[u8])> {
+        if buf.len() < BTH_LEN {
+            return None;
+        }
+        let opcode = Opcode::from_wire(buf[0] & 0x1f)?;
+        if buf[0] >> 5 != crate::opcode::TRANSPORT_RC {
+            return None; // Only the RC transport is implemented.
+        }
+        let pkey = u16::from_be_bytes([buf[2], buf[3]]);
+        let dest_qp = u32::from_be_bytes([0, buf[5], buf[6], buf[7]]);
+        let ack_req = buf[8] & 0x80 != 0;
+        let psn = u32::from_be_bytes([0, buf[9], buf[10], buf[11]]);
+        Some((
+            Bth {
+                opcode,
+                dest_qp,
+                psn,
+                ack_req,
+                pkey,
+            },
+            &buf[BTH_LEN..],
+        ))
+    }
+}
+
+/// The RDMA Extended Transport Header: target address, rkey, and length.
+///
+/// For the StRoM op-codes the *address* field carries the RPC op-code used
+/// to match the request against the kernels deployed on the remote NIC
+/// (§5.1) — the header layout is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reth {
+    /// Remote virtual address (or RPC op-code for StRoM packets).
+    pub vaddr: u64,
+    /// Remote key of the target memory region.
+    pub rkey: u32,
+    /// Total DMA length of the message in bytes.
+    pub dma_len: u32,
+}
+
+impl Reth {
+    /// Encodes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.vaddr.to_be_bytes());
+        out.extend_from_slice(&self.rkey.to_be_bytes());
+        out.extend_from_slice(&self.dma_len.to_be_bytes());
+    }
+
+    /// Parses a RETH; returns `(header, rest)`.
+    pub fn parse(buf: &[u8]) -> Option<(Reth, &[u8])> {
+        if buf.len() < RETH_LEN {
+            return None;
+        }
+        let vaddr = u64::from_be_bytes(buf[0..8].try_into().expect("sized slice"));
+        let rkey = u32::from_be_bytes(buf[8..12].try_into().expect("sized slice"));
+        let dma_len = u32::from_be_bytes(buf[12..16].try_into().expect("sized slice"));
+        Some((
+            Reth {
+                vaddr,
+                rkey,
+                dma_len,
+            },
+            &buf[RETH_LEN..],
+        ))
+    }
+}
+
+/// AETH syndrome values StRoM generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AethSyndrome {
+    /// Positive acknowledgement.
+    Ack,
+    /// Negative acknowledgement: PSN sequence error (requests retransmit).
+    NakSequenceError,
+    /// Negative acknowledgement: remote operational error (e.g. no kernel
+    /// matched an RPC op-code and no CPU fallback was configured, §5.1).
+    NakRemoteOperationalError,
+}
+
+impl AethSyndrome {
+    /// Encodes into the 8-bit syndrome field.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            // Ack with credit count field = 31 (unlimited credits).
+            AethSyndrome::Ack => 0b0001_1111,
+            AethSyndrome::NakSequenceError => 0b0110_0000,
+            AethSyndrome::NakRemoteOperationalError => 0b0110_0100,
+        }
+    }
+
+    /// Decodes from the 8-bit syndrome field.
+    pub fn from_wire(v: u8) -> Option<AethSyndrome> {
+        match v >> 5 {
+            0b000 => Some(AethSyndrome::Ack),
+            0b011 => match v & 0x1f {
+                0 => Some(AethSyndrome::NakSequenceError),
+                4 => Some(AethSyndrome::NakRemoteOperationalError),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// The ACK Extended Transport Header: syndrome plus message sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aeth {
+    /// ACK/NAK discrimination.
+    pub syndrome: AethSyndrome,
+    /// Message sequence number (24 bits) from the responder's MSN table.
+    pub msn: u32,
+}
+
+impl Aeth {
+    /// Encodes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.syndrome.to_wire());
+        out.extend_from_slice(&(self.msn & MASK_24).to_be_bytes()[1..4]);
+    }
+
+    /// Parses an AETH; returns `(header, rest)`.
+    pub fn parse(buf: &[u8]) -> Option<(Aeth, &[u8])> {
+        if buf.len() < AETH_LEN {
+            return None;
+        }
+        let syndrome = AethSyndrome::from_wire(buf[0])?;
+        let msn = u32::from_be_bytes([0, buf[1], buf[2], buf[3]]);
+        Some((Aeth { syndrome, msn }, &buf[AETH_LEN..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bth_round_trip() {
+        let bth = Bth::new(Opcode::WriteOnly, 0x1234, 0xabcdef, true);
+        let mut buf = Vec::new();
+        bth.encode(&mut buf);
+        assert_eq!(buf.len(), BTH_LEN);
+        let (parsed, rest) = Bth::parse(&buf).unwrap();
+        assert_eq!(parsed, bth);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn bth_masks_to_24_bits() {
+        let bth = Bth::new(Opcode::ReadRequest, 0xff00_0001, 0xff00_0002, false);
+        assert_eq!(bth.dest_qp, 0x0000_0001);
+        assert_eq!(bth.psn, 0x0000_0002);
+    }
+
+    #[test]
+    fn bth_rejects_reserved_opcode() {
+        let mut buf = Vec::new();
+        Bth::new(Opcode::WriteOnly, 1, 1, false).encode(&mut buf);
+        buf[0] = 0b000_11101; // Reserved StRoM op-code.
+        assert!(Bth::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn bth_rejects_non_rc_transport() {
+        let mut buf = Vec::new();
+        Bth::new(Opcode::WriteOnly, 1, 1, false).encode(&mut buf);
+        buf[0] = (0b011 << 5) | 0x0a; // UD transport prefix.
+        assert!(Bth::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn reth_round_trip() {
+        let reth = Reth {
+            vaddr: 0xdead_beef_0000_0040,
+            rkey: 7,
+            dma_len: 4096,
+        };
+        let mut buf = Vec::new();
+        reth.encode(&mut buf);
+        assert_eq!(buf.len(), RETH_LEN);
+        let (parsed, rest) = Reth::parse(&buf).unwrap();
+        assert_eq!(parsed, reth);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn aeth_round_trip_all_syndromes() {
+        for syndrome in [
+            AethSyndrome::Ack,
+            AethSyndrome::NakSequenceError,
+            AethSyndrome::NakRemoteOperationalError,
+        ] {
+            let aeth = Aeth { syndrome, msn: 99 };
+            let mut buf = Vec::new();
+            aeth.encode(&mut buf);
+            assert_eq!(buf.len(), AETH_LEN);
+            let (parsed, _) = Aeth::parse(&buf).unwrap();
+            assert_eq!(parsed, aeth);
+        }
+    }
+
+    #[test]
+    fn short_buffers_fail() {
+        assert!(Bth::parse(&[0u8; BTH_LEN - 1]).is_none());
+        assert!(Reth::parse(&[0u8; RETH_LEN - 1]).is_none());
+        assert!(Aeth::parse(&[0u8; AETH_LEN - 1]).is_none());
+    }
+
+    #[test]
+    fn strom_rpc_opcode_travels_in_reth_vaddr() {
+        // §5.1: the RETH address field encodes the RPC op-code.
+        let reth = Reth {
+            vaddr: crate::opcode::RpcOpCode::TRAVERSAL.0,
+            rkey: 0,
+            dma_len: 64,
+        };
+        let mut buf = Vec::new();
+        reth.encode(&mut buf);
+        let (parsed, _) = Reth::parse(&buf).unwrap();
+        assert_eq!(
+            crate::opcode::RpcOpCode(parsed.vaddr),
+            crate::opcode::RpcOpCode::TRAVERSAL
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Ethernet framing: MAC addresses, EtherTypes, and frame geometry.
+//!
+//! The StRoM NIC transmits IB packets as Ethernet frames (RoCE v2 over
+//! IPv4/UDP). The simulation accounts frame overhead exactly: 14 B header,
+//! 4 B FCS, plus the 20 B of preamble/SFD/inter-packet gap that occupy the
+//! wire but never reach the pipeline.
+
+/// Length of the Ethernet header (dst MAC + src MAC + EtherType).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Length of the frame check sequence (CRC-32 trailer).
+pub const ETHERNET_FCS_LEN: usize = 4;
+
+/// Minimum Ethernet frame size (header + payload + FCS), 64 B.
+///
+/// The paper uses this to bound per-packet processing: "the smallest
+/// possible Ethernet frame is 64 B corresponding to 8 cycles" at the 8 B
+/// datapath (§4.1).
+pub const ETHERNET_MIN_FRAME: usize = 64;
+
+/// Preamble (7) + SFD (1) + minimum inter-packet gap (12), in bytes.
+///
+/// These occupy wire time on every frame and are what separates 10 Gbit/s
+/// line rate from the ~9.4 Gbit/s payload goodput ceiling in Fig 5b.
+pub const ETHERNET_WIRE_OVERHEAD: usize = 20;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A locally administered address derived from a node id — handy for
+    /// the simulated testbed where nodes are numbered.
+    pub fn from_node_id(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// The EtherTypes the StRoM NIC understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum EtherType {
+    /// IPv4 (carries RoCE v2).
+    Ipv4 = 0x0800,
+    /// ARP (handled by the open-source module the paper reuses).
+    Arp = 0x0806,
+}
+
+impl EtherType {
+    /// Decodes an EtherType of interest from its wire value.
+    pub fn from_wire(v: u16) -> Option<EtherType> {
+        match v {
+            0x0800 => Some(EtherType::Ipv4),
+            0x0806 => Some(EtherType::Arp),
+            _ => None,
+        }
+    }
+}
+
+/// Computes the total wire occupancy in bytes of a frame carrying an IP
+/// packet of `ip_len` bytes: Ethernet framing, FCS, padding to the minimum
+/// frame, preamble and inter-packet gap.
+pub fn wire_bytes(ip_len: usize) -> usize {
+    let frame = (ETHERNET_HEADER_LEN + ip_len + ETHERNET_FCS_LEN).max(ETHERNET_MIN_FRAME);
+    frame + ETHERNET_WIRE_OVERHEAD
+}
+
+/// Encodes an Ethernet header into `out`.
+pub fn encode_header(dst: MacAddr, src: MacAddr, ethertype: EtherType, out: &mut Vec<u8>) {
+    out.extend_from_slice(&dst.0);
+    out.extend_from_slice(&src.0);
+    out.extend_from_slice(&(ethertype as u16).to_be_bytes());
+}
+
+/// Parses an Ethernet header; returns `(dst, src, ethertype, rest)`.
+pub fn parse_header(buf: &[u8]) -> Option<(MacAddr, MacAddr, u16, &[u8])> {
+    if buf.len() < ETHERNET_HEADER_LEN {
+        return None;
+    }
+    let mut dst = [0u8; 6];
+    let mut src = [0u8; 6];
+    dst.copy_from_slice(&buf[0..6]);
+    src.copy_from_slice(&buf[6..12]);
+    let ethertype = u16::from_be_bytes([buf[12], buf[13]]);
+    Some((
+        MacAddr(dst),
+        MacAddr(src),
+        ethertype,
+        &buf[ETHERNET_HEADER_LEN..],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let mut buf = Vec::new();
+        let dst = MacAddr::from_node_id(1);
+        let src = MacAddr::from_node_id(2);
+        encode_header(dst, src, EtherType::Ipv4, &mut buf);
+        buf.extend_from_slice(b"payload");
+        let (d, s, et, rest) = parse_header(&buf).unwrap();
+        assert_eq!(d, dst);
+        assert_eq!(s, src);
+        assert_eq!(EtherType::from_wire(et), Some(EtherType::Ipv4));
+        assert_eq!(rest, b"payload");
+    }
+
+    #[test]
+    fn short_buffer_fails_to_parse() {
+        assert!(parse_header(&[0u8; 13]).is_none());
+    }
+
+    #[test]
+    fn minimum_frame_is_padded() {
+        // A 1-byte IP packet still occupies min frame + overhead.
+        assert_eq!(wire_bytes(1), ETHERNET_MIN_FRAME + ETHERNET_WIRE_OVERHEAD);
+    }
+
+    #[test]
+    fn large_frame_is_not_padded() {
+        assert_eq!(wire_bytes(1500), 14 + 1500 + 4 + 20);
+    }
+
+    #[test]
+    fn node_macs_are_distinct_and_local() {
+        let a = MacAddr::from_node_id(7);
+        let b = MacAddr::from_node_id(8);
+        assert_ne!(a, b);
+        // Locally administered bit set, not multicast.
+        assert_eq!(a.0[0] & 0x03, 0x02);
+        assert!(!a.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+
+    #[test]
+    fn display_formats_colon_hex() {
+        assert_eq!(
+            MacAddr([0, 1, 0xab, 3, 4, 5]).to_string(),
+            "00:01:ab:03:04:05"
+        );
+    }
+
+    #[test]
+    fn unknown_ethertype_is_rejected() {
+        assert_eq!(EtherType::from_wire(0x86dd), None, "no IPv6 in StRoM");
+    }
+}

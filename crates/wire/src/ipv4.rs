@@ -1,0 +1,206 @@
+//! IPv4 header encoding, parsing, and checksum.
+//!
+//! StRoM uses RoCE v2 over IPv4 and UDP (§2.1). The Process IP pipeline
+//! stage checks the header checksum and extracts addresses and length
+//! before forwarding metadata on a separate bus (§4.1); this module is the
+//! functional equivalent.
+
+/// Length of an IPv4 header without options (StRoM never emits options).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// Builds a testbed address `10.1.212.<id>` (the fpga-network-stack
+    /// default subnet).
+    pub fn from_node_id(id: u8) -> Self {
+        Ipv4Addr([10, 1, 212, id])
+    }
+}
+
+impl std::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.0;
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+/// A parsed IPv4 header (the fields StRoM's Process IP stage uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Total length (header + payload).
+    pub total_len: u16,
+    /// Layer-4 protocol (17 = UDP for RoCE v2).
+    pub protocol: u8,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field (used for diagnostics only).
+    pub ident: u16,
+}
+
+/// Protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+impl Ipv4Header {
+    /// Creates a UDP-carrying header with the given payload length.
+    pub fn for_udp(src: Ipv4Addr, dst: Ipv4Addr, payload_len: usize, ident: u16) -> Self {
+        Ipv4Header {
+            src,
+            dst,
+            total_len: (IPV4_HEADER_LEN + payload_len) as u16,
+            protocol: PROTO_UDP,
+            ttl: 64,
+            ident,
+        }
+    }
+
+    /// Encodes the header (with a correct checksum) into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // Version 4, IHL 5.
+        out.push(0); // DSCP/ECN.
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.ident.to_be_bytes());
+        out.extend_from_slice(&[0x40, 0x00]); // Flags: DF, fragment offset 0.
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // Checksum placeholder.
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.dst.0);
+        let csum = checksum(&out[start..start + IPV4_HEADER_LEN]);
+        out[start + 10..start + 12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Parses and checksum-verifies a header; returns `(header, rest)`.
+    ///
+    /// Mirrors the Process IP stage: a failed checksum drops the packet.
+    pub fn parse(buf: &[u8]) -> Option<(Ipv4Header, &[u8])> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return None;
+        }
+        if buf[0] != 0x45 {
+            return None; // StRoM only handles IPv4 without options.
+        }
+        if checksum(&buf[..IPV4_HEADER_LEN]) != 0 {
+            return None;
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if (total_len as usize) < IPV4_HEADER_LEN || (total_len as usize) > buf.len() {
+            return None;
+        }
+        let header = Ipv4Header {
+            total_len,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            src: Ipv4Addr([buf[12], buf[13], buf[14], buf[15]]),
+            dst: Ipv4Addr([buf[16], buf[17], buf[18], buf[19]]),
+        };
+        Some((header, &buf[IPV4_HEADER_LEN..total_len as usize]))
+    }
+}
+
+/// The Internet checksum (RFC 1071) over `data`.
+///
+/// Computing it over a header whose checksum field is correct yields 0.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::for_udp(
+            Ipv4Addr::from_node_id(1),
+            Ipv4Addr::from_node_id(2),
+            100,
+            42,
+        )
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 100]);
+        let (parsed, rest) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(rest.len(), 100);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_dropped() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 100]);
+        buf[10] ^= 0xff;
+        assert!(Ipv4Header::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn corrupted_body_byte_in_header_is_dropped() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 100]);
+        buf[15] ^= 0x01; // Flip a source-address bit.
+        assert!(Ipv4Header::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn truncated_packet_is_dropped() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        // total_len promises 120 bytes; give only the header.
+        assert!(Ipv4Header::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn options_are_rejected() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 100]);
+        buf[0] = 0x46; // IHL = 6 (with options).
+        assert!(Ipv4Header::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn rfc1071_known_vector() {
+        // Example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_checksum_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Ipv4Addr::from_node_id(3).to_string(), "10.1.212.3");
+    }
+}

@@ -1,0 +1,346 @@
+//! Whole-packet encode/parse: the functional equivalent of the RX/TX
+//! pipelines' header stages chained together (Figure 2).
+//!
+//! A [`Packet`] is the in-simulation representation of one RoCE v2 frame.
+//! `encode` produces the exact byte stream (Ethernet + IPv4 + UDP + BTH
+//! [+ RETH] [+ AETH] + payload + ICRC); `parse` is its inverse and performs
+//! the same validity checks the hardware pipeline performs, stage by stage,
+//! reporting *where* an invalid packet would have been dropped.
+
+use bytes::Bytes;
+
+use crate::bth::{Aeth, Bth, Psn, Qpn, Reth};
+use crate::ethernet::{self, EtherType, MacAddr};
+use crate::icrc;
+use crate::ipv4::{Ipv4Addr, Ipv4Header, PROTO_UDP};
+use crate::opcode::Opcode;
+use crate::udp::UdpHeader;
+
+/// One RoCE v2 packet with all headers and payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Source IP.
+    pub src_ip: Ipv4Addr,
+    /// Destination IP.
+    pub dst_ip: Ipv4Addr,
+    /// Base transport header.
+    pub bth: Bth,
+    /// RDMA extended transport header, when the op-code carries one.
+    pub reth: Option<Reth>,
+    /// ACK extended transport header, when the op-code carries one.
+    pub aeth: Option<Aeth>,
+    /// Payload bytes (cheaply cloneable).
+    pub payload: Bytes,
+}
+
+/// Where in the RX pipeline an invalid packet is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Dropped before the IP stage: truncated or non-IPv4 frame.
+    Ethernet,
+    /// Dropped in the Process IP stage: bad checksum/length/protocol.
+    Ip,
+    /// Dropped in the Process UDP stage: wrong port or bad length.
+    Udp,
+    /// Dropped in the Process BTH stage: unknown op-code or truncation.
+    Bth,
+    /// Dropped in the Process RETH/AETH stage: missing extended header.
+    Eth,
+    /// Dropped at ICRC validation: corrupted packet.
+    Icrc,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stage = match self {
+            PacketError::Ethernet => "ethernet",
+            PacketError::Ip => "ip",
+            PacketError::Udp => "udp",
+            PacketError::Bth => "bth",
+            PacketError::Eth => "reth/aeth",
+            PacketError::Icrc => "icrc",
+        };
+        write!(f, "packet dropped at the {stage} stage")
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+impl Packet {
+    /// Builds a request/response packet between two simulated nodes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        src_node: u32,
+        dst_node: u32,
+        opcode: Opcode,
+        dest_qp: Qpn,
+        psn: Psn,
+        reth: Option<Reth>,
+        aeth: Option<Aeth>,
+        payload: Bytes,
+    ) -> Self {
+        debug_assert_eq!(opcode.has_reth(), reth.is_some(), "RETH presence");
+        debug_assert_eq!(opcode.has_aeth(), aeth.is_some(), "AETH presence");
+        Packet {
+            dst_mac: MacAddr::from_node_id(dst_node),
+            src_mac: MacAddr::from_node_id(src_node),
+            src_ip: Ipv4Addr::from_node_id(dst_node as u8 ^ 0xff), // Placeholder, fixed below.
+            dst_ip: Ipv4Addr::from_node_id(dst_node as u8),
+            bth: Bth::new(opcode, dest_qp, psn, opcode.ends_message()),
+            reth,
+            aeth,
+            payload,
+        }
+        .with_src_ip(Ipv4Addr::from_node_id(src_node as u8))
+    }
+
+    fn with_src_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.src_ip = ip;
+        self
+    }
+
+    /// The op-code, for convenience.
+    pub fn opcode(&self) -> Opcode {
+        self.bth.opcode
+    }
+
+    /// Length of the encoded IP packet (IP header through ICRC).
+    pub fn ip_len(&self) -> usize {
+        let ib = crate::bth::BTH_LEN
+            + if self.reth.is_some() {
+                crate::bth::RETH_LEN
+            } else {
+                0
+            }
+            + if self.aeth.is_some() {
+                crate::bth::AETH_LEN
+            } else {
+                0
+            };
+        crate::ipv4::IPV4_HEADER_LEN
+            + crate::udp::UDP_HEADER_LEN
+            + ib
+            + self.payload.len()
+            + icrc::ICRC_LEN
+    }
+
+    /// Total wire occupancy in bytes (framing, FCS, padding, preamble, IPG)
+    /// — what the link serializer charges for this packet.
+    pub fn wire_bytes(&self) -> usize {
+        ethernet::wire_bytes(self.ip_len())
+    }
+
+    /// Encodes the full frame byte stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ethernet::ETHERNET_HEADER_LEN + self.ip_len());
+        ethernet::encode_header(self.dst_mac, self.src_mac, EtherType::Ipv4, &mut buf);
+
+        // The RoCE payload (UDP payload): BTH [+RETH] [+AETH] + data + ICRC.
+        let mut roce = Vec::with_capacity(self.ip_len());
+        self.bth.encode(&mut roce);
+        if let Some(reth) = &self.reth {
+            reth.encode(&mut roce);
+        }
+        if let Some(aeth) = &self.aeth {
+            aeth.encode(&mut roce);
+        }
+        roce.extend_from_slice(&self.payload);
+        icrc::append_icrc(&mut roce);
+
+        let udp = UdpHeader::for_roce((self.bth.dest_qp & 0xffff) as u16, roce.len());
+        let ip = Ipv4Header::for_udp(
+            self.src_ip,
+            self.dst_ip,
+            crate::udp::UDP_HEADER_LEN + roce.len(),
+            0,
+        );
+        ip.encode(&mut buf);
+        udp.encode(&mut buf);
+        buf.extend_from_slice(&roce);
+        buf
+    }
+
+    /// Parses a frame, performing every pipeline validity check.
+    pub fn parse(frame: &[u8]) -> Result<Packet, PacketError> {
+        let (dst_mac, src_mac, ethertype, rest) =
+            ethernet::parse_header(frame).ok_or(PacketError::Ethernet)?;
+        if EtherType::from_wire(ethertype) != Some(EtherType::Ipv4) {
+            return Err(PacketError::Ethernet);
+        }
+        let (ip, rest) = Ipv4Header::parse(rest).ok_or(PacketError::Ip)?;
+        if ip.protocol != PROTO_UDP {
+            return Err(PacketError::Ip);
+        }
+        let (udp, roce) = UdpHeader::parse(rest).ok_or(PacketError::Udp)?;
+        if !udp.is_roce() {
+            return Err(PacketError::Udp);
+        }
+        // ICRC is validated over the whole IB packet (store-and-forward).
+        let (body, ok) = icrc::check_icrc(roce).ok_or(PacketError::Icrc)?;
+        if !ok {
+            return Err(PacketError::Icrc);
+        }
+        let (bth, rest) = Bth::parse(body).ok_or(PacketError::Bth)?;
+        let (reth, rest) = if bth.opcode.has_reth() {
+            let (r, rest) = Reth::parse(rest).ok_or(PacketError::Eth)?;
+            (Some(r), rest)
+        } else {
+            (None, rest)
+        };
+        let (aeth, rest) = if bth.opcode.has_aeth() {
+            let (a, rest) = Aeth::parse(rest).ok_or(PacketError::Eth)?;
+            (Some(a), rest)
+        } else {
+            (None, rest)
+        };
+        Ok(Packet {
+            dst_mac,
+            src_mac,
+            src_ip: ip.src,
+            dst_ip: ip.dst,
+            bth,
+            reth,
+            aeth,
+            payload: Bytes::copy_from_slice(rest),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bth::AethSyndrome;
+
+    fn write_only(payload: &[u8]) -> Packet {
+        Packet::new(
+            1,
+            2,
+            Opcode::WriteOnly,
+            5,
+            100,
+            Some(Reth {
+                vaddr: 0x1000,
+                rkey: 1,
+                dma_len: payload.len() as u32,
+            }),
+            None,
+            Bytes::copy_from_slice(payload),
+        )
+    }
+
+    #[test]
+    fn encode_parse_round_trip_write() {
+        let p = write_only(b"hello strom");
+        let parsed = Packet::parse(&p.encode()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn encode_parse_round_trip_ack() {
+        let p = Packet::new(
+            2,
+            1,
+            Opcode::Acknowledge,
+            7,
+            55,
+            None,
+            Some(Aeth {
+                syndrome: AethSyndrome::Ack,
+                msn: 3,
+            }),
+            Bytes::new(),
+        );
+        let parsed = Packet::parse(&p.encode()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn encode_parse_round_trip_rpc_params() {
+        let p = Packet::new(
+            1,
+            2,
+            Opcode::RpcParams,
+            9,
+            1,
+            Some(Reth {
+                vaddr: crate::opcode::RpcOpCode::TRAVERSAL.0,
+                rkey: 0,
+                dma_len: 48,
+            }),
+            None,
+            Bytes::from(vec![7u8; 48]),
+        );
+        let parsed = Packet::parse(&p.encode()).unwrap();
+        assert_eq!(parsed, p);
+        assert!(parsed.opcode().is_strom_extension());
+    }
+
+    #[test]
+    fn payload_corruption_fails_icrc() {
+        let p = write_only(b"data to protect");
+        let mut frame = p.encode();
+        let n = frame.len();
+        frame[n - 10] ^= 0x40;
+        assert_eq!(Packet::parse(&frame), Err(PacketError::Icrc));
+    }
+
+    #[test]
+    fn wrong_udp_port_dropped_at_udp_stage() {
+        let p = write_only(b"x");
+        let mut frame = p.encode();
+        // UDP dst port lives at eth(14) + ip(20) + 2.
+        frame[14 + 20 + 2] = 0;
+        frame[14 + 20 + 3] = 53;
+        assert_eq!(Packet::parse(&frame), Err(PacketError::Udp));
+    }
+
+    #[test]
+    fn non_ipv4_dropped_at_ethernet_stage() {
+        let p = write_only(b"x");
+        let mut frame = p.encode();
+        frame[12] = 0x86;
+        frame[13] = 0xdd; // IPv6.
+        assert_eq!(Packet::parse(&frame), Err(PacketError::Ethernet));
+    }
+
+    #[test]
+    fn ip_len_matches_encoding() {
+        for payload_len in [0usize, 1, 64, 1440] {
+            let p = write_only(&vec![0u8; payload_len]);
+            assert_eq!(
+                p.encode().len(),
+                ethernet::ETHERNET_HEADER_LEN + p.ip_len(),
+                "payload_len = {payload_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_bytes_includes_overheads() {
+        let p = write_only(&[0u8; 64]);
+        // 64 B payload + 14 eth + 20 ip + 8 udp + 12 bth + 16 reth + 4 icrc
+        // + 4 fcs + 20 preamble/ipg.
+        assert_eq!(p.wire_bytes(), 64 + 14 + 20 + 8 + 12 + 16 + 4 + 4 + 20);
+    }
+
+    #[test]
+    fn middle_packet_has_no_reth() {
+        let p = Packet::new(
+            1,
+            2,
+            Opcode::WriteMiddle,
+            5,
+            101,
+            None,
+            None,
+            Bytes::from(vec![1u8; 32]),
+        );
+        let parsed = Packet::parse(&p.encode()).unwrap();
+        assert!(parsed.reth.is_none());
+        assert_eq!(parsed.payload.len(), 32);
+    }
+}

@@ -1,0 +1,189 @@
+//! MTU segmentation of RDMA messages into First/Middle/Last/Only packets.
+//!
+//! A WRITE whose payload exceeds one MTU is split into a First packet
+//! (carrying the RETH with the target address), Middle packets, and a Last
+//! packet; the responder's MSN Table tracks the running DMA address because
+//! "for write operations with payload spanning multiple packets the address
+//! is only part of the first packet" (§4.1). The same segmentation applies
+//! to StRoM RPC WRITE messages with the Table 1 op-codes, and to READ
+//! responses.
+
+use crate::opcode::Opcode;
+
+/// The position of a segment within its message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// The only packet of a single-packet message.
+    Only,
+    /// The first packet of a multi-packet message.
+    First,
+    /// An interior packet.
+    Middle,
+    /// The final packet of a multi-packet message.
+    Last,
+}
+
+impl SegmentKind {
+    /// Maps a message position onto the WRITE op-code family.
+    pub fn write_opcode(self) -> Opcode {
+        match self {
+            SegmentKind::Only => Opcode::WriteOnly,
+            SegmentKind::First => Opcode::WriteFirst,
+            SegmentKind::Middle => Opcode::WriteMiddle,
+            SegmentKind::Last => Opcode::WriteLast,
+        }
+    }
+
+    /// Maps a message position onto the StRoM RPC WRITE op-code family
+    /// (Table 1).
+    pub fn rpc_write_opcode(self) -> Opcode {
+        match self {
+            SegmentKind::Only => Opcode::RpcWriteOnly,
+            SegmentKind::First => Opcode::RpcWriteFirst,
+            SegmentKind::Middle => Opcode::RpcWriteMiddle,
+            SegmentKind::Last => Opcode::RpcWriteLast,
+        }
+    }
+
+    /// Maps a message position onto the READ response op-code family.
+    pub fn read_response_opcode(self) -> Opcode {
+        match self {
+            SegmentKind::Only => Opcode::ReadResponseOnly,
+            SegmentKind::First => Opcode::ReadResponseFirst,
+            SegmentKind::Middle => Opcode::ReadResponseMiddle,
+            SegmentKind::Last => Opcode::ReadResponseLast,
+        }
+    }
+}
+
+/// One segment of a message: its position, payload byte range, and the
+/// offset of that range within the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Position within the message.
+    pub kind: SegmentKind,
+    /// Byte offset of this segment's payload within the message.
+    pub offset: usize,
+    /// Payload length of this segment.
+    pub len: usize,
+}
+
+/// Splits a message of `total_len` payload bytes into segments of at most
+/// `max_payload` bytes.
+///
+/// A zero-length message still produces one `Only` segment (e.g. a
+/// zero-byte write used for doorbells).
+///
+/// # Examples
+///
+/// ```
+/// use strom_wire::segment::{segment_message, SegmentKind};
+/// let segs = segment_message(3000, 1440);
+/// assert_eq!(segs.len(), 3);
+/// assert_eq!(segs[0].kind, SegmentKind::First);
+/// assert_eq!(segs[2].kind, SegmentKind::Last);
+/// assert_eq!(segs[2].len, 3000 - 2 * 1440);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `max_payload` is zero while `total_len` is not — such a
+/// message could never be transmitted.
+pub fn segment_message(total_len: usize, max_payload: usize) -> Vec<Segment> {
+    if total_len == 0 {
+        return vec![Segment {
+            kind: SegmentKind::Only,
+            offset: 0,
+            len: 0,
+        }];
+    }
+    assert!(max_payload > 0, "cannot segment with a zero MTU budget");
+    let n = total_len.div_ceil(max_payload);
+    let mut out = Vec::with_capacity(n);
+    let mut offset = 0;
+    for i in 0..n {
+        let len = max_payload.min(total_len - offset);
+        let kind = match (i, n) {
+            (_, 1) => SegmentKind::Only,
+            (0, _) => SegmentKind::First,
+            (i, n) if i == n - 1 => SegmentKind::Last,
+            _ => SegmentKind::Middle,
+        };
+        out.push(Segment { kind, offset, len });
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_message() {
+        let segs = segment_message(100, 1440);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].kind, SegmentKind::Only);
+        assert_eq!(segs[0].len, 100);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_tail() {
+        let segs = segment_message(2880, 1440);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].kind, SegmentKind::First);
+        assert_eq!(segs[1].kind, SegmentKind::Last);
+        assert_eq!(segs[1].len, 1440);
+    }
+
+    #[test]
+    fn three_packet_message_has_middle() {
+        let segs = segment_message(3000, 1440);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(
+            segs.iter().map(|s| s.kind).collect::<Vec<_>>(),
+            vec![SegmentKind::First, SegmentKind::Middle, SegmentKind::Last]
+        );
+        assert_eq!(segs[2].len, 3000 - 2 * 1440);
+    }
+
+    #[test]
+    fn segments_tile_the_message() {
+        for total in [1usize, 1439, 1440, 1441, 10_000, 1 << 20] {
+            let segs = segment_message(total, 1440);
+            let mut expect_offset = 0;
+            for s in &segs {
+                assert_eq!(s.offset, expect_offset);
+                assert!(s.len <= 1440);
+                assert!(s.len > 0);
+                expect_offset += s.len;
+            }
+            assert_eq!(expect_offset, total, "total = {total}");
+        }
+    }
+
+    #[test]
+    fn zero_length_message_is_an_only_packet() {
+        let segs = segment_message(0, 1440);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].kind, SegmentKind::Only);
+        assert_eq!(segs[0].len, 0);
+    }
+
+    #[test]
+    fn opcode_families() {
+        assert_eq!(SegmentKind::Only.write_opcode(), Opcode::WriteOnly);
+        assert_eq!(SegmentKind::First.rpc_write_opcode(), Opcode::RpcWriteFirst);
+        assert_eq!(
+            SegmentKind::Middle.read_response_opcode(),
+            Opcode::ReadResponseMiddle
+        );
+        assert_eq!(SegmentKind::Last.rpc_write_opcode(), Opcode::RpcWriteLast);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero MTU")]
+    fn zero_budget_panics() {
+        let _ = segment_message(10, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! UDP header for RoCE v2 encapsulation.
+//!
+//! RoCE v2 encapsulates IB packets in IP/UDP (§2.1); the destination port
+//! 4791 identifies RoCE traffic. The Process UDP stage checks the port and
+//! extracts the length (§4.1).
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// IANA-assigned UDP destination port for RoCE v2.
+pub const ROCE_V2_PORT: u16 = 4791;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port (RoCE uses it for ECMP entropy; we echo the QPN).
+    pub src_port: u16,
+    /// Destination port — must be [`ROCE_V2_PORT`] for RoCE traffic.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Creates a RoCE v2 header for a payload of `payload_len` bytes.
+    pub fn for_roce(src_port: u16, payload_len: usize) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port: ROCE_V2_PORT,
+            length: (UDP_HEADER_LEN + payload_len) as u16,
+        }
+    }
+
+    /// Encodes the header into `out`.
+    ///
+    /// RoCE v2 sets the UDP checksum to zero (it relies on the ICRC), and
+    /// so do we.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // Checksum: 0 per RoCE v2 convention.
+    }
+
+    /// Parses a header; returns `(header, payload)`.
+    pub fn parse(buf: &[u8]) -> Option<(UdpHeader, &[u8])> {
+        if buf.len() < UDP_HEADER_LEN {
+            return None;
+        }
+        let header = UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: u16::from_be_bytes([buf[4], buf[5]]),
+        };
+        let len = header.length as usize;
+        if len < UDP_HEADER_LEN || len > buf.len() {
+            return None;
+        }
+        Some((header, &buf[UDP_HEADER_LEN..len]))
+    }
+
+    /// Whether this datagram is addressed to the RoCE v2 port.
+    pub fn is_roce(&self) -> bool {
+        self.dst_port == ROCE_V2_PORT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader::for_roce(7, 32);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[9u8; 32]);
+        let (parsed, payload) = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(payload, &[9u8; 32][..]);
+        assert!(parsed.is_roce());
+    }
+
+    #[test]
+    fn non_roce_port_detected() {
+        let h = UdpHeader {
+            src_port: 1,
+            dst_port: 53,
+            length: 8,
+        };
+        assert!(!h.is_roce());
+    }
+
+    #[test]
+    fn truncated_datagram_rejected() {
+        let h = UdpHeader::for_roce(7, 32);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        // Promised 32 payload bytes, delivered none.
+        assert!(UdpHeader::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn bogus_length_rejected() {
+        let mut buf = vec![0u8; 8];
+        buf[4..6].copy_from_slice(&3u16.to_be_bytes()); // Length < header.
+        assert!(UdpHeader::parse(&buf).is_none());
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_none());
+    }
+}

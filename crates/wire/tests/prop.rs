@@ -1,0 +1,164 @@
+//! Property-based tests of the wire codecs.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use strom_wire::bth::{Aeth, AethSyndrome, Bth, Reth};
+use strom_wire::opcode::Opcode;
+use strom_wire::packet::Packet;
+use strom_wire::segment::{segment_message, SegmentKind};
+use strom_wire::{ipv4, max_payload};
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(Opcode::ALL.to_vec())
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        arb_opcode(),
+        0u32..=0xff_ffff,
+        0u32..=0xff_ffff,
+        any::<u64>(),
+        any::<u32>(),
+        0u32..=4096,
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(op, qpn, psn, vaddr, rkey, dma_len, payload)| {
+            let payload = if op.has_payload() {
+                Bytes::from(payload)
+            } else {
+                Bytes::new()
+            };
+            let reth = op.has_reth().then_some(Reth {
+                vaddr,
+                rkey,
+                dma_len,
+            });
+            let aeth = op.has_aeth().then_some(Aeth {
+                syndrome: AethSyndrome::Ack,
+                msn: psn & 0xff_ffff,
+            });
+            Packet::new(1, 2, op, qpn, psn, reth, aeth, payload)
+        })
+}
+
+proptest! {
+    /// Encoding then parsing any packet is the identity.
+    #[test]
+    fn packet_round_trip(pkt in arb_packet()) {
+        let parsed = Packet::parse(&pkt.encode()).expect("own encoding parses");
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    /// Any single-bit flip anywhere in the frame is rejected somewhere in
+    /// the pipeline (ICRC, IP checksum, or a header check) — or, if it
+    /// lands in the Ethernet MACs (unprotected in our byte encoding, FCS
+    /// is accounted in timing only), parsing still never panics.
+    #[test]
+    fn bit_flips_never_panic_and_rarely_pass(
+        pkt in arb_packet(),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = pkt.encode();
+        let i = byte_idx.index(frame.len());
+        frame[i] ^= 1 << bit;
+        // Genuinely unprotected bytes (as in real RoCE v2): the Ethernet
+        // MACs (their FCS is modeled in timing only), the UDP source port
+        // (a *variable* field the ICRC masks out), and the UDP checksum
+        // (zero by RoCE convention, not validated).
+        let unprotected =
+            i < 12 || (34..36).contains(&i) || (40..42).contains(&i);
+        if Packet::parse(&frame).is_ok() {
+            prop_assert!(unprotected, "flip at byte {i} passed");
+        }
+    }
+
+    /// Truncated frames never panic and never parse.
+    #[test]
+    fn truncation_is_rejected(pkt in arb_packet(), cut in any::<prop::sample::Index>()) {
+        let frame = pkt.encode();
+        let keep = cut.index(frame.len());
+        prop_assert!(Packet::parse(&frame[..keep]).is_err());
+    }
+
+    /// Segmentation tiles the message exactly, respects the budget, and
+    /// classifies First/Middle/Last/Only correctly.
+    #[test]
+    fn segmentation_invariants(total in 0usize..100_000, budget in 1usize..4096) {
+        let segs = segment_message(total, budget);
+        // Tiling.
+        let mut offset = 0;
+        for s in &segs {
+            prop_assert_eq!(s.offset, offset);
+            prop_assert!(s.len <= budget);
+            offset += s.len;
+        }
+        prop_assert_eq!(offset, total);
+        // Classification.
+        if segs.len() == 1 {
+            prop_assert_eq!(segs[0].kind, SegmentKind::Only);
+        } else {
+            prop_assert_eq!(segs[0].kind, SegmentKind::First);
+            prop_assert_eq!(segs[segs.len() - 1].kind, SegmentKind::Last);
+            for s in &segs[1..segs.len() - 1] {
+                prop_assert_eq!(s.kind, SegmentKind::Middle);
+            }
+        }
+        // Reassembly is the identity on data.
+        let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        let mut rebuilt = Vec::new();
+        for s in &segs {
+            rebuilt.extend_from_slice(&data[s.offset..s.offset + s.len]);
+        }
+        prop_assert_eq!(rebuilt, data);
+    }
+
+    /// The internet checksum of a header with its checksum field filled
+    /// in is always zero, and flipping any byte breaks it.
+    #[test]
+    fn ipv4_checksum_detects_corruption(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        len in 0usize..1400,
+        ident in any::<u16>(),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let h = ipv4::Ipv4Header::for_udp(ipv4::Ipv4Addr(src), ipv4::Ipv4Addr(dst), len, ident);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        prop_assert_eq!(ipv4::checksum(&buf), 0);
+        let i = flip.index(buf.len());
+        buf[i] ^= 0xff;
+        prop_assert_ne!(ipv4::checksum(&buf), 0, "flip at {} undetected", i);
+    }
+
+    /// BTH wire round trip for arbitrary field values.
+    #[test]
+    fn bth_round_trip(op in arb_opcode(), qpn in any::<u32>(), psn in any::<u32>(), ack in any::<bool>()) {
+        let bth = Bth::new(op, qpn, psn, ack);
+        let mut buf = Vec::new();
+        bth.encode(&mut buf);
+        let (parsed, rest) = Bth::parse(&buf).expect("parses");
+        prop_assert_eq!(parsed, bth);
+        prop_assert!(rest.is_empty());
+    }
+
+    /// Payload budgets shrink monotonically with header additions and the
+    /// max_payload fits the MTU.
+    #[test]
+    fn payload_budget_fits_mtu(mtu in 100usize..9000) {
+        let p = max_payload(mtu);
+        prop_assert!(p < mtu);
+        // A full packet at this budget encodes within MTU + Ethernet.
+        if p > 0 {
+            let pkt = Packet::new(
+                1, 2, Opcode::WriteOnly, 1, 0,
+                Some(Reth { vaddr: 0, rkey: 0, dma_len: p as u32 }),
+                None,
+                Bytes::from(vec![0u8; p]),
+            );
+            prop_assert!(pkt.ip_len() <= mtu);
+        }
+    }
+}

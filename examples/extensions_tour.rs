@@ -1,0 +1,150 @@
+//! A tour of StRoM's secondary mechanisms (§3.5, §5.1, §5.2):
+//!
+//! 1. **CPU fallback** — an RPC whose kernel is *not* deployed on the NIC
+//!    is handled by a software implementation on the remote host.
+//! 2. **Local invocation** — the host invokes a kernel on its *own* NIC.
+//! 3. **Send + receive kernels** — both NICs process the same stream as
+//!    it leaves one host and enters the other.
+//!
+//! ```text
+//! cargo run --release --example extensions_tour
+//! ```
+
+use bytes::Bytes;
+
+use strom::kernels::hll_kernel::HllKernel;
+use strom::kernels::layouts::{build_linked_list, value_pattern};
+use strom::kernels::traversal::TraversalParams;
+use strom::mem::HostMemory;
+use strom::nic::{CpuFallback, NicConfig, RpcOpCode, Testbed, WorkRequest};
+use strom::sim::time::{TimeDelta, MICROS, NANOS};
+use strom::wire::bth::Qpn;
+
+const CLIENT: usize = 0;
+const SERVER: usize = 1;
+const QP: u32 = 1;
+
+/// The software traversal the server CPU runs when the kernel is absent.
+struct SoftwareTraversal;
+
+impl CpuFallback for SoftwareTraversal {
+    fn handle(
+        &mut self,
+        mem: &mut HostMemory,
+        _qpn: Qpn,
+        params: &Bytes,
+    ) -> Option<(u64, Bytes, TimeDelta)> {
+        let p = TraversalParams::decode(params)?;
+        let mut addr = p.remote_address;
+        let mut hops = 0u64;
+        loop {
+            let elem = mem.read(addr, 64);
+            hops += 1;
+            let key = u64::from_le_bytes(elem[0..8].try_into().unwrap());
+            let next = u64::from_le_bytes(elem[8..16].try_into().unwrap());
+            let vptr = u64::from_le_bytes(elem[16..24].try_into().unwrap());
+            if key == p.key {
+                let value = mem.read(vptr, p.value_size as usize);
+                return Some((p.target_address, Bytes::from(value), hops * 80 * NANOS));
+            }
+            if next == 0 {
+                return None;
+            }
+            addr = next;
+        }
+    }
+}
+
+fn main() {
+    let mut tb = Testbed::new(NicConfig::ten_gig());
+    tb.bring_up(); // Real ARP over the simulated wire.
+    tb.connect_qp(QP);
+    let client_buf = tb.pin(CLIENT, 4 << 20);
+    let server_buf = tb.pin(SERVER, 4 << 20);
+
+    // ---- 1. CPU fallback -------------------------------------------------
+    tb.set_cpu_fallback(SERVER, RpcOpCode::TRAVERSAL, Box::new(SoftwareTraversal));
+    let keys = [100u64, 200, 300];
+    let list = build_linked_list(tb.mem(SERVER), server_buf, &keys, 64);
+    let watch = tb.add_watch(CLIENT, client_buf, 64);
+    let t0 = tb.now();
+    tb.post(
+        CLIENT,
+        QP,
+        WorkRequest::Rpc {
+            rpc_op: RpcOpCode::TRAVERSAL,
+            params: TraversalParams::for_linked_list(list.head, 200, 64, client_buf).encode(),
+        },
+    );
+    let t1 = tb.run_until_watch(watch);
+    assert_eq!(tb.mem(CLIENT).read(client_buf, 64), value_pattern(200, 64));
+    println!(
+        "1. CPU fallback: no kernel deployed, the server CPU answered in {:.2} us \
+         ({} unmatched RPC recorded)",
+        (t1 - t0) as f64 / MICROS as f64,
+        tb.fabric(SERVER).unmatched()
+    );
+    tb.run_until_idle();
+
+    // ---- 2. Local invocation --------------------------------------------
+    // The client sketches its OWN outgoing data set by invoking the HLL
+    // kernel on its own NIC, then taps the send path.
+    tb.deploy_kernel(CLIENT, Box::new(HllKernel::new()));
+    tb.set_send_tap(CLIENT, RpcOpCode::HLL);
+    let data: Vec<u8> = (0..100_000u64)
+        .flat_map(|i| (i % 25_000).to_le_bytes())
+        .collect();
+    tb.mem(CLIENT).write(client_buf + (1 << 20), &data);
+    let h = tb.post(
+        CLIENT,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: server_buf + (1 << 20),
+            local_vaddr: client_buf + (1 << 20),
+            len: data.len() as u32,
+        },
+    );
+    tb.run_until_complete(CLIENT, h);
+    tb.run_until_idle();
+    let estimate = tb
+        .fabric(CLIENT)
+        .kernel(RpcOpCode::HLL)
+        .and_then(|k| k.as_any().downcast_ref::<HllKernel>())
+        .map(|k| k.estimate())
+        .unwrap();
+    println!(
+        "2. Send kernel: the CLIENT NIC sketched its outgoing stream: ~{estimate:.0} distinct \
+         (true: 25000)"
+    );
+
+    // ---- 3. Receive kernel on the other side ----------------------------
+    tb.deploy_kernel(SERVER, Box::new(HllKernel::new()));
+    tb.set_receive_tap(SERVER, RpcOpCode::HLL);
+    let h = tb.post(
+        CLIENT,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: server_buf + (1 << 20),
+            local_vaddr: client_buf + (1 << 20),
+            len: data.len() as u32,
+        },
+    );
+    tb.run_until_complete(CLIENT, h);
+    tb.run_until_idle();
+    let server_estimate = tb
+        .fabric(SERVER)
+        .kernel(RpcOpCode::HLL)
+        .and_then(|k| k.as_any().downcast_ref::<HllKernel>())
+        .map(|k| k.estimate())
+        .unwrap();
+    println!(
+        "3. Receive kernel: the SERVER NIC sketched the same stream on arrival: ~{server_estimate:.0}"
+    );
+
+    // ---- Controller status registers (§4.3) ------------------------------
+    let s = tb.status(SERVER);
+    println!(
+        "\nserver status registers: {} frames rx, {} payload bytes, {} kernel invocations, {} unmatched RPCs",
+        s.frames_rx, s.payload_bytes_rx, s.kernel_invocations, s.rpc_unmatched
+    );
+}

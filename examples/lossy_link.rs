@@ -1,0 +1,88 @@
+//! Retransmission demo: reliable delivery over a lossy link.
+//!
+//! RoCE v2 is a *reliable* transport: the State Table's PSN windows detect
+//! gaps (NAK sequence error) and duplicates, and the per-QP Retransmission
+//! Timer recovers from lost ACKs (paper §4.1). This example injects frame
+//! loss on the wire and shows the protocol machinery delivering every byte
+//! intact — including StRoM RPCs, whose request and response packets ride
+//! the same reliable transport.
+//!
+//! ```text
+//! cargo run --release --example lossy_link
+//! ```
+
+use strom::kernels::layouts::{build_linked_list, value_pattern};
+use strom::kernels::traversal::{TraversalKernel, TraversalParams};
+use strom::nic::{NicConfig, RpcOpCode, Testbed, WorkRequest};
+
+const CLIENT: usize = 0;
+const SERVER: usize = 1;
+const QP: u32 = 1;
+
+fn main() {
+    for loss in [0.0f64, 0.01, 0.05, 0.10] {
+        let mut tb = Testbed::new(NicConfig::ten_gig());
+        tb.connect_qp(QP);
+        tb.set_loss_rate(loss);
+        let src = tb.pin(CLIENT, 8 << 20);
+        let dst = tb.pin(SERVER, 8 << 20);
+        tb.deploy_kernel(SERVER, Box::new(TraversalKernel::new()));
+
+        // A 2 MB transfer in 64 KB writes.
+        let data: Vec<u8> = (0..(2 << 20) as u32).map(|i| (i % 253) as u8).collect();
+        tb.mem(CLIENT).write(src, &data);
+        let t0 = tb.now();
+        let mut handles = Vec::new();
+        for off in (0..data.len() as u64).step_by(64 << 10) {
+            handles.push(tb.post(
+                CLIENT,
+                QP,
+                WorkRequest::Write {
+                    remote_vaddr: dst + off,
+                    local_vaddr: src + off,
+                    len: 64 << 10,
+                },
+            ));
+        }
+        for h in handles {
+            tb.run_until_complete(CLIENT, h);
+        }
+        tb.run_until_idle();
+        let xfer_secs = (tb.now() - t0) as f64 / 1e12;
+        assert_eq!(
+            tb.mem(SERVER).read(dst, data.len()),
+            data,
+            "bytes survive loss"
+        );
+
+        // And an RPC on top of the same lossy wire.
+        let keys = [11u64, 22, 33, 44];
+        let list = build_linked_list(tb.mem(SERVER), dst + (4 << 20), &keys, 64);
+        let watch = tb.add_watch(CLIENT, src + (4 << 20), 64);
+        tb.post(
+            CLIENT,
+            QP,
+            WorkRequest::Rpc {
+                rpc_op: RpcOpCode::TRAVERSAL,
+                params: TraversalParams::for_linked_list(list.head, 33, 64, src + (4 << 20))
+                    .encode(),
+            },
+        );
+        tb.run_until_watch(watch);
+        assert_eq!(
+            tb.mem(CLIENT).read(src + (4 << 20), 64),
+            value_pattern(33, 64)
+        );
+        tb.run_until_idle();
+
+        println!(
+            "loss {:>4.1}% : 2 MB in {:>7.2} ms ({:>5.2} Gbit/s), {} frames lost, {} packets retransmitted, RPC ok",
+            loss * 100.0,
+            xfer_secs * 1e3,
+            data.len() as f64 * 8.0 / 1e9 / xfer_secs,
+            tb.frames_lost(SERVER) + tb.frames_lost(CLIENT),
+            tb.retransmissions(CLIENT) + tb.retransmissions(SERVER),
+        );
+    }
+    println!("\nevery byte arrived intact at every loss rate — the PSN windows and timers work.");
+}

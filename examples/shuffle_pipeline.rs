@@ -1,0 +1,140 @@
+//! Distributed radix shuffle of a tuple stream (paper §6.4 / Fig 11).
+//!
+//! The client streams 8 B tuples to the server. With the StRoM shuffle
+//! kernel the receiving NIC partitions them on-the-fly into per-partition
+//! regions of server memory; the baseline partitions on the sender's CPU
+//! first. The example verifies both produce identical partitions and
+//! compares execution time.
+//!
+//! ```text
+//! cargo run --release --example shuffle_pipeline
+//! ```
+
+use strom::baselines::cpu_partition::{software_partition, CpuPartitionModel};
+use strom::kernels::shuffle::{encode_histogram, ShuffleKernel, ShuffleParams};
+use strom::nic::{NicConfig, RpcOpCode, Testbed, WorkRequest};
+use strom::sim::SimRng;
+
+const CLIENT: usize = 0;
+const SERVER: usize = 1;
+const QP: u32 = 1;
+const PARTITIONS: u32 = 64;
+const INPUT_MB: u64 = 8;
+
+fn main() {
+    let size = INPUT_MB << 20;
+    let mut rng = SimRng::seed(2020);
+
+    // Random input tuples.
+    let mut input = vec![0u8; size as usize];
+    rng.fill_bytes(&mut input);
+    let tuples: Vec<u64> = input
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+
+    // ---------------- StRoM: partition on the receiving NIC ----------------
+    let mut tb = Testbed::new(NicConfig::ten_gig());
+    tb.connect_qp(QP);
+    let src = tb.pin(CLIENT, size + (1 << 21));
+    let part_cap = ((size / u64::from(PARTITIONS)) * 13 / 10) as u32;
+    let server = tb.pin(
+        SERVER,
+        u64::from(PARTITIONS) * u64::from(part_cap) + (2 << 21),
+    );
+    tb.mem(CLIENT).write(src, &input);
+    tb.deploy_kernel(SERVER, Box::new(ShuffleKernel::new()));
+
+    // Histogram: where each partition lives.
+    let regions: Vec<(u64, u32)> = (0..u64::from(PARTITIONS))
+        .map(|i| (server + (1 << 21) + i * u64::from(part_cap), part_cap))
+        .collect();
+    let histogram = encode_histogram(&regions);
+    tb.mem(SERVER).write(server, &histogram);
+    let h = tb.post(
+        CLIENT,
+        QP,
+        WorkRequest::Rpc {
+            rpc_op: RpcOpCode::SHUFFLE,
+            params: ShuffleParams {
+                histogram_addr: server,
+                num_partitions: PARTITIONS,
+            }
+            .encode(),
+        },
+    );
+    tb.run_until_complete(CLIENT, h);
+    tb.run_until_idle();
+
+    let t0 = tb.now();
+    let h = tb.post(
+        CLIENT,
+        QP,
+        WorkRequest::RpcWrite {
+            rpc_op: RpcOpCode::SHUFFLE,
+            local_vaddr: src,
+            len: size as u32,
+        },
+    );
+    tb.run_until_complete(CLIENT, h);
+    tb.run_until_idle();
+    let strom_secs = (tb.now() - t0) as f64 / 1e12;
+
+    // Verify against the reference partitioner, byte for byte.
+    let reference = software_partition(&tuples, PARTITIONS as usize);
+    let mut total = 0usize;
+    for (pid, (region, _)) in regions.iter().enumerate() {
+        let want: Vec<u8> = reference.partitions[pid]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        let got = tb.mem(SERVER).read(*region, want.len());
+        assert_eq!(got, want, "partition {pid} mismatch");
+        total += want.len();
+    }
+    assert_eq!(total, size as usize);
+    println!(
+        "StRoM shuffle: {INPUT_MB} MB into {PARTITIONS} partitions in {strom_secs:.4} s \
+         ({:.2} Gbit/s), verified byte-for-byte",
+        size as f64 * 8.0 / 1e9 / strom_secs
+    );
+
+    // ------------- Baseline: partition on the sender CPU -------------------
+    let mut tb = Testbed::new(NicConfig::ten_gig());
+    tb.connect_qp(QP);
+    let staging = tb.pin(CLIENT, size + (1 << 21));
+    let dst = tb.pin(SERVER, size + (1 << 21));
+    let t0 = tb.now();
+    let partitioned = software_partition(&tuples, PARTITIONS as usize);
+    tb.advance(CpuPartitionModel::new().partition_time(size));
+    let mut cursor = 0u64;
+    let mut handles = Vec::new();
+    for p in &partitioned.partitions {
+        let bytes: Vec<u8> = p.iter().flat_map(|v| v.to_le_bytes()).collect();
+        tb.mem(CLIENT).write(staging + cursor, &bytes);
+        handles.push(tb.post(
+            CLIENT,
+            QP,
+            WorkRequest::Write {
+                remote_vaddr: dst + cursor,
+                local_vaddr: staging + cursor,
+                len: bytes.len() as u32,
+            },
+        ));
+        cursor += bytes.len() as u64;
+    }
+    for h in handles {
+        tb.run_until_complete(CLIENT, h);
+    }
+    tb.run_until_idle();
+    let sw_secs = (tb.now() - t0) as f64 / 1e12;
+    println!(
+        "SW + RDMA WRITE: same shuffle in {sw_secs:.4} s ({:.2} Gbit/s)",
+        size as f64 * 8.0 / 1e9 / sw_secs
+    );
+    println!(
+        "\nStRoM is {:.2}x faster: partitioning rides along with the transfer instead of \
+         costing an extra CPU pass.",
+        sw_secs / strom_secs
+    );
+}

@@ -1,0 +1,252 @@
+//! Integration tests of the plain RDMA data path: one-sided WRITE and
+//! READ across the full simulated stack (host command → packets → PSN
+//! machinery → DMA → memory).
+
+use strom::nic::{NicConfig, Testbed, WorkRequest};
+use strom::sim::SimRng;
+
+const QP: u32 = 1;
+
+fn testbed() -> Testbed {
+    let mut tb = Testbed::new(NicConfig::ten_gig());
+    tb.connect_qp(QP);
+    tb
+}
+
+#[test]
+fn write_sizes_sweep_delivers_exact_bytes() {
+    let mut tb = testbed();
+    let src = tb.pin(0, 8 << 20);
+    let dst = tb.pin(1, 8 << 20);
+    let mut rng = SimRng::seed(1);
+    // Exercise boundary sizes around the 1440 B payload budget.
+    for &len in &[
+        1u32, 63, 64, 1439, 1440, 1441, 2880, 2881, 100_000, 1_000_000,
+    ] {
+        let mut data = vec![0u8; len as usize];
+        rng.fill_bytes(&mut data);
+        tb.mem(0).write(src, &data);
+        let watch = tb.add_watch(1, dst, u64::from(len));
+        tb.post(
+            0,
+            QP,
+            WorkRequest::Write {
+                remote_vaddr: dst,
+                local_vaddr: src,
+                len,
+            },
+        );
+        tb.run_until_watch(watch);
+        assert_eq!(tb.mem(1).read(dst, len as usize), data, "len = {len}");
+        tb.run_until_idle();
+    }
+}
+
+#[test]
+fn read_sizes_sweep_fetches_exact_bytes() {
+    let mut tb = testbed();
+    let dst = tb.pin(0, 8 << 20);
+    let src = tb.pin(1, 8 << 20);
+    let mut rng = SimRng::seed(2);
+    for &len in &[1u32, 64, 1440, 1441, 4096, 777_777] {
+        let mut data = vec![0u8; len as usize];
+        rng.fill_bytes(&mut data);
+        tb.mem(1).write(src, &data);
+        let h = tb.post(
+            0,
+            QP,
+            WorkRequest::Read {
+                remote_vaddr: src,
+                local_vaddr: dst,
+                len,
+            },
+        );
+        tb.run_until_complete(0, h);
+        assert_eq!(tb.mem(0).read(dst, len as usize), data, "len = {len}");
+        tb.run_until_idle();
+    }
+}
+
+#[test]
+fn writes_crossing_huge_page_boundaries() {
+    // The TLB must split the DMA commands; the data must still land
+    // contiguously in virtual space.
+    let mut tb = testbed();
+    let src = tb.pin(0, 8 << 20);
+    let dst = tb.pin(1, 8 << 20);
+    let page = strom::mem::HUGE_PAGE_SIZE;
+    let len = 64 * 1024u32;
+    let data: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+    // Straddle the first page boundary on both sides.
+    let src_off = page - 1000;
+    let dst_off = page - 31_000;
+    tb.mem(0).write(src + src_off, &data);
+    let watch = tb.add_watch(1, dst + dst_off, u64::from(len));
+    tb.post(
+        0,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: dst + dst_off,
+            local_vaddr: src + src_off,
+            len,
+        },
+    );
+    tb.run_until_watch(watch);
+    assert_eq!(tb.mem(1).read(dst + dst_off, len as usize), data);
+    tb.run_until_idle();
+}
+
+#[test]
+fn bidirectional_traffic_on_one_qp() {
+    // Both nodes write to each other simultaneously on the same QP —
+    // the two direction's PSN spaces are independent.
+    let mut tb = testbed();
+    let a = tb.pin(0, 4 << 20);
+    let b = tb.pin(1, 4 << 20);
+    let data_a: Vec<u8> = (0..50_000u32).map(|i| (i % 13) as u8).collect();
+    let data_b: Vec<u8> = (0..60_000u32).map(|i| (i % 17) as u8).collect();
+    tb.mem(0).write(a, &data_a);
+    tb.mem(1).write(b, &data_b);
+    let w_b = tb.add_watch(1, b + (2 << 20), data_a.len() as u64);
+    let w_a = tb.add_watch(0, a + (2 << 20), data_b.len() as u64);
+    tb.post(
+        0,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: b + (2 << 20),
+            local_vaddr: a,
+            len: data_a.len() as u32,
+        },
+    );
+    tb.post(
+        1,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: a + (2 << 20),
+            local_vaddr: b,
+            len: data_b.len() as u32,
+        },
+    );
+    tb.run_until_watch(w_b);
+    tb.run_until_watch(w_a);
+    assert_eq!(tb.mem(1).read(b + (2 << 20), data_a.len()), data_a);
+    assert_eq!(tb.mem(0).read(a + (2 << 20), data_b.len()), data_b);
+    tb.run_until_idle();
+}
+
+#[test]
+fn many_qps_interleave_independently() {
+    let mut tb = Testbed::new(NicConfig::ten_gig());
+    let qps: Vec<u32> = (1..=8).collect();
+    for &qp in &qps {
+        tb.connect_qp(qp);
+    }
+    let src = tb.pin(0, 4 << 20);
+    let dst = tb.pin(1, 4 << 20);
+    let mut handles = Vec::new();
+    for (i, &qp) in qps.iter().enumerate() {
+        let off = i as u64 * 100_000;
+        let data = vec![qp as u8; 100_000];
+        tb.mem(0).write(src + off, &data);
+        handles.push((
+            qp,
+            off,
+            tb.post(
+                0,
+                qp,
+                WorkRequest::Write {
+                    remote_vaddr: dst + off,
+                    local_vaddr: src + off,
+                    len: 100_000,
+                },
+            ),
+        ));
+    }
+    for (qp, off, h) in handles {
+        tb.run_until_complete(0, h);
+        assert_eq!(
+            tb.mem(1).read(dst + off, 100_000),
+            vec![qp as u8; 100_000],
+            "QP {qp}"
+        );
+    }
+    tb.run_until_idle();
+}
+
+#[test]
+fn hundred_gig_config_moves_data_too() {
+    let mut tb = Testbed::new(NicConfig::hundred_gig());
+    tb.connect_qp(QP);
+    let src = tb.pin(0, 4 << 20);
+    let dst = tb.pin(1, 4 << 20);
+    let data: Vec<u8> = (0..2_000_000u32).map(|i| (i % 251) as u8).collect();
+    tb.mem(0).write(src, &data);
+    let t0 = tb.now();
+    let watch = tb.add_watch(1, dst, data.len() as u64);
+    tb.post(
+        0,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: dst,
+            local_vaddr: src,
+            len: data.len() as u32,
+        },
+    );
+    let t1 = tb.run_until_watch(watch);
+    assert_eq!(tb.mem(1).read(dst, data.len()), data);
+    // 2 MB at ~88 Gbit/s ≈ 190 µs — an order of magnitude faster than 10G.
+    let us = (t1 - t0) as f64 / 1e6;
+    assert!(us < 400.0, "2 MB at 100G took {us} µs");
+    tb.run_until_idle();
+}
+
+#[test]
+fn zero_length_write_completes() {
+    let mut tb = testbed();
+    let src = tb.pin(0, 1 << 20);
+    let dst = tb.pin(1, 1 << 20);
+    let h = tb.post(
+        0,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: dst,
+            local_vaddr: src,
+            len: 0,
+        },
+    );
+    let t = tb.run_until_complete(0, h);
+    assert!(t > 0);
+    tb.run_until_idle();
+}
+
+#[test]
+fn write_then_read_round_trips_through_remote_memory() {
+    let mut tb = testbed();
+    let local = tb.pin(0, 2 << 20);
+    let remote = tb.pin(1, 2 << 20);
+    let data = b"persistent remote state".to_vec();
+    tb.mem(0).write(local, &data);
+    let h = tb.post(
+        0,
+        QP,
+        WorkRequest::Write {
+            remote_vaddr: remote,
+            local_vaddr: local,
+            len: data.len() as u32,
+        },
+    );
+    tb.run_until_complete(0, h);
+    // Read it back into a different local buffer.
+    let h = tb.post(
+        0,
+        QP,
+        WorkRequest::Read {
+            remote_vaddr: remote,
+            local_vaddr: local + (1 << 20),
+            len: data.len() as u32,
+        },
+    );
+    tb.run_until_complete(0, h);
+    assert_eq!(tb.mem(0).read(local + (1 << 20), data.len()), data);
+    tb.run_until_idle();
+}
