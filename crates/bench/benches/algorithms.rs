@@ -1,4 +1,4 @@
-//! Criterion benchmarks of the algorithm substrates the kernels run.
+//! Micro-benchmarks of the algorithm substrates the kernels run.
 //!
 //! These measure the *real* Rust implementations (not the simulation):
 //! CRC64 (the consistency kernel and its software baseline), HyperLogLog
@@ -6,7 +6,7 @@
 //! calibration constants in `strom-baselines` (e.g. table-driven CRC64 at
 //! ~1 GB/s ⇒ the paper's ≤40 % software overhead at 4 KB).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strom_bench::micro::{bb, bench, bench_throughput};
 
 use strom_baselines::cpu_partition::software_partition;
 use strom_baselines::parallel_hll;
@@ -14,66 +14,43 @@ use strom_kernels::crc64::crc64;
 use strom_kernels::hash::mix64;
 use strom_kernels::hll::HyperLogLog;
 
-fn bench_crc64(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crc64");
+fn main() {
+    println!("== crc64 ==");
     for size in [64usize, 512, 4096, 65536] {
         let data = vec![0xa5u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| crc64(black_box(d)))
-        });
+        bench_throughput(&format!("crc64/{size}"), size as u64, || crc64(bb(&data)));
     }
-    g.finish();
-}
 
-fn bench_hll(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hll");
+    println!("== hll ==");
     let items: Vec<u8> = (0..100_000u64).flat_map(|i| i.to_le_bytes()).collect();
-    g.throughput(Throughput::Bytes(items.len() as u64));
-    g.bench_function("add_100k_items", |b| {
-        b.iter(|| {
-            let mut h = HyperLogLog::standard();
-            for chunk in items.chunks_exact(8) {
-                h.add_item(chunk.try_into().unwrap());
-            }
-            black_box(h.estimate())
-        })
+    bench_throughput("hll/add_100k_items", items.len() as u64, || {
+        let mut h = HyperLogLog::standard();
+        for chunk in items.chunks_exact(8) {
+            h.add_item(chunk.try_into().unwrap());
+        }
+        bb(h.estimate())
     });
-    g.bench_function("parallel_4t_100k_items", |b| {
-        b.iter(|| black_box(parallel_hll(&items, 4, 14).estimate()))
+    bench_throughput("hll/parallel_4t_100k_items", items.len() as u64, || {
+        bb(parallel_hll(&items, 4, 14).estimate())
     });
-    g.finish();
-}
 
-fn bench_mix64(c: &mut Criterion) {
-    c.bench_function("mix64", |b| {
+    bench("mix64", || {
         let mut x = 0u64;
-        b.iter(|| {
-            x = mix64(black_box(x));
-            x
-        })
+        for _ in 0..64 {
+            x = mix64(bb(x));
+        }
+        x
     });
-}
 
-fn bench_partition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("radix_partition");
+    println!("== radix_partition ==");
     let values: Vec<u64> = (0..131_072u64)
         .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .collect();
-    g.throughput(Throughput::Bytes(values.len() as u64 * 8));
     for parts in [16usize, 256, 1024] {
-        g.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &p| {
-            b.iter(|| black_box(software_partition(&values, p).flushes))
-        });
+        bench_throughput(
+            &format!("radix_partition/{parts}"),
+            values.len() as u64 * 8,
+            || bb(software_partition(&values, parts).flushes),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_crc64,
-    bench_hll,
-    bench_mix64,
-    bench_partition
-);
-criterion_main!(benches);

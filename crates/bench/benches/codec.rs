@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the wire codecs: encode/parse rates of full
+//! Micro-benchmarks of the wire codecs: encode/parse rates of full
 //! RoCE v2 frames — the software analogue of the line-rate pipeline
 //! requirement (§4.1: line-rate processing even for small packets).
 
 use bytes::Bytes;
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strom_bench::micro::{bb, bench, bench_throughput};
 
 use strom_wire::bth::Reth;
 use strom_wire::opcode::Opcode;
@@ -27,35 +27,28 @@ fn sample_packet(payload: usize) -> Packet {
     )
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("packet_encode");
+fn main() {
+    println!("== packet_encode ==");
     for payload in [64usize, 1440] {
         let pkt = sample_packet(payload);
-        g.throughput(Throughput::Bytes(pkt.wire_bytes() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(payload), &pkt, |b, p| {
-            b.iter(|| black_box(p.encode()))
-        });
+        bench_throughput(
+            &format!("packet_encode/{payload}"),
+            pkt.wire_bytes() as u64,
+            || bb(pkt.encode()),
+        );
     }
-    g.finish();
-}
 
-fn bench_parse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("packet_parse");
+    println!("== packet_parse ==");
     for payload in [64usize, 1440] {
         let frame = sample_packet(payload).encode();
-        g.throughput(Throughput::Bytes(frame.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(payload), &frame, |b, f| {
-            b.iter(|| black_box(Packet::parse(f).unwrap()))
-        });
+        bench_throughput(
+            &format!("packet_parse/{payload}"),
+            frame.len() as u64,
+            || bb(Packet::parse(&frame).unwrap()),
+        );
     }
-    g.finish();
-}
 
-fn bench_segmentation(c: &mut Criterion) {
-    c.bench_function("segment_1MB_message", |b| {
-        b.iter(|| black_box(segment_message(1 << 20, 1440).len()))
+    bench("segment_1MB_message", || {
+        bb(segment_message(1 << 20, 1440).len())
     });
 }
-
-criterion_group!(benches, bench_encode, bench_parse, bench_segmentation);
-criterion_main!(benches);

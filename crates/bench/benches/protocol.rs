@@ -1,32 +1,26 @@
-//! Criterion benchmarks of the protocol state machines: the software
+//! Micro-benchmarks of the protocol state machines: the software
 //! analogue of the §4.1 claim that PSN checking takes ~5 cycles/packet
 //! and must sustain line rate for minimum-size frames.
 
 use bytes::Bytes;
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use strom_bench::micro::{bb, bench};
 
 use strom_proto::{MultiQueue, Requester, Responder, StateTable, WorkRequest};
 use strom_wire::bth::Reth;
 use strom_wire::opcode::Opcode;
 use strom_wire::packet::Packet;
 
-fn bench_psn_classify(c: &mut Criterion) {
+fn main() {
     let mut st = StateTable::new(512);
     st.init_qp(7, 0, 0);
-    c.bench_function("state_table_classify", |b| {
-        b.iter(|| black_box(st.classify_request(7, black_box(0))))
-    });
-}
+    bench("state_table_classify", || bb(st.classify_request(7, bb(0))));
 
-fn bench_responder_write_only(c: &mut Criterion) {
-    let mut g = c.benchmark_group("responder");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("write_only_packet", |b| {
+    {
         let mut st = StateTable::new(8);
         st.init_qp(1, 0, 0);
         let mut r = Responder::new(8, 1440);
         let mut psn = 0u32;
-        b.iter(|| {
+        bench("responder/write_only_packet", || {
             let pkt = Packet::new(
                 0,
                 1,
@@ -42,18 +36,15 @@ fn bench_responder_write_only(c: &mut Criterion) {
                 Bytes::from_static(&[0u8; 64]),
             );
             psn = (psn + 1) & 0xff_ffff;
-            black_box(r.on_packet(&mut st, &pkt))
-        })
-    });
-    g.finish();
-}
+            bb(r.on_packet(&mut st, &pkt))
+        });
+    }
 
-fn bench_requester_post(c: &mut Criterion) {
-    c.bench_function("requester_post_write", |b| {
+    {
         let mut st = StateTable::new(8);
         st.init_qp(1, 0, 0);
         let mut r = Requester::new(8, 64, 1440);
-        b.iter(|| {
+        bench("requester_post_write", || {
             let (_, pkts) = r
                 .post(
                     &mut st,
@@ -76,26 +67,13 @@ fn bench_requester_post(c: &mut Criterion) {
                     msn: 0,
                 },
             );
-            black_box(psn)
-        })
+            bb(psn)
+        });
+    }
+
+    let mut mq = MultiQueue::new(16, 256);
+    bench("multi_queue_push_consume", || {
+        mq.push(3, 0x1000, 64);
+        bb(mq.consume(3, 64))
     });
 }
-
-fn bench_multi_queue(c: &mut Criterion) {
-    c.bench_function("multi_queue_push_consume", |b| {
-        let mut mq = MultiQueue::new(16, 256);
-        b.iter(|| {
-            mq.push(3, 0x1000, 64);
-            black_box(mq.consume(3, 64))
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_psn_classify,
-    bench_responder_write_only,
-    bench_requester_post,
-    bench_multi_queue
-);
-criterion_main!(benches);

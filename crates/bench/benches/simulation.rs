@@ -1,50 +1,39 @@
-//! Criterion benchmarks of the simulator itself: wall-clock cost of
+//! Micro-benchmarks of the simulator itself: wall-clock cost of
 //! simulating end-to-end operations. Useful for sizing the `--full`
 //! experiment runs and catching event-loop regressions (e.g. the
 //! retransmission-check dedup).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use strom_bench::micro::{bb, bench, bench_throughput};
 
 use strom_nic::{NicConfig, Testbed, WorkRequest};
 
-fn bench_write_op(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_write");
+fn main() {
+    println!("== simulate_write ==");
     for &size in &[64u32, 4096, 65536] {
-        g.throughput(Throughput::Bytes(u64::from(size)));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let mut tb = Testbed::new(NicConfig::ten_gig());
-            tb.connect_qp(1);
-            let src = tb.pin(0, 1 << 21);
-            let dst = tb.pin(1, 1 << 21);
-            tb.mem(0).write(src, &vec![7u8; size as usize]);
-            b.iter(|| {
-                let h = tb.post(
-                    0,
-                    1,
-                    WorkRequest::Write {
-                        remote_vaddr: dst,
-                        local_vaddr: src,
-                        len: size,
-                    },
-                );
-                let t = tb.run_until_complete(0, h);
-                tb.run_until_idle();
-                black_box(t)
-            })
+        let mut tb = Testbed::new(NicConfig::ten_gig());
+        tb.connect_qp(1);
+        let src = tb.pin(0, 1 << 21);
+        let dst = tb.pin(1, 1 << 21);
+        tb.mem(0).write(src, &vec![7u8; size as usize]);
+        bench_throughput(&format!("simulate_write/{size}"), u64::from(size), || {
+            let h = tb.post(
+                0,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: dst,
+                    local_vaddr: src,
+                    len: size,
+                },
+            );
+            let t = tb.run_until_complete(0, h);
+            tb.run_until_idle();
+            bb(t)
         });
     }
-    g.finish();
-}
 
-fn bench_testbed_setup(c: &mut Criterion) {
-    c.bench_function("testbed_new_and_pin", |b| {
-        b.iter(|| {
-            let mut tb = Testbed::new(NicConfig::ten_gig());
-            tb.connect_qp(1);
-            black_box(tb.pin(0, 1 << 21))
-        })
+    bench("testbed_new_and_pin", || {
+        let mut tb = Testbed::new(NicConfig::ten_gig());
+        tb.connect_qp(1);
+        bb(tb.pin(0, 1 << 21))
     });
 }
-
-criterion_group!(benches, bench_write_op, bench_testbed_setup);
-criterion_main!(benches);

@@ -121,6 +121,7 @@ pub fn timeout(_scale: Scale) -> Figure {
     let timeouts_us = [20u64, 50, 100, 400, 1600];
     let mut time_ms = Vec::new();
     let mut retx = Vec::new();
+    let mut totals = super::FaultTotals::default();
     for &t_us in &timeouts_us {
         let mut cfg = NicConfig::ten_gig();
         cfg.retransmit_timeout = t_us * MICROS;
@@ -150,6 +151,7 @@ pub fn timeout(_scale: Scale) -> Figure {
         tb.run_until_idle();
         time_ms.push((tb.now() - t0) as f64 / 1e9);
         retx.push(tb.retransmissions(0) as f64);
+        totals.absorb(&tb);
     }
     Figure::new(
         "Ablation: retransmission timeout at 5% loss (1 MB in 64KB writes)",
@@ -159,4 +161,5 @@ pub fn timeout(_scale: Scale) -> Figure {
     )
     .push_series(Series::new("completion time [ms]", time_ms))
     .push_series(Series::new("retransmitted packets", retx))
+    .push_note(totals.note())
 }

@@ -14,7 +14,7 @@ use strom_sim::report::{Figure, Series};
 use strom_sim::stats::Samples;
 use strom_sim::SimRng;
 
-use super::{testbed_10g, Scale};
+use super::{testbed_10g, FaultTotals, Scale};
 
 /// The figure's x axis.
 pub const FAILURE_RATES: [f64; 4] = [0.0, 0.005, 0.05, 0.5];
@@ -43,6 +43,7 @@ pub fn run(scale: Scale) -> Figure {
         FAILURE_RATES.iter().map(|r| format!("{r}")).collect(),
         "us (mean)",
     );
+    let mut totals = FaultTotals::default();
 
     for &osize in &OBJECT_SIZES {
         let payload = osize - 8;
@@ -73,6 +74,7 @@ pub fn run(scale: Scale) -> Figure {
                 tb.run_until_idle();
             }
             sw_means.push(samples.summarize().expect("samples").mean_us());
+            totals.absorb(&tb);
         }
         fig = fig.push_series(Series::new(
             format!("READ+SW: {}", size_label(osize)),
@@ -110,11 +112,12 @@ pub fn run(scale: Scale) -> Figure {
                 tb.run_until_idle();
             }
             strom_means.push(samples.summarize().expect("samples").mean_us());
+            totals.absorb(&tb);
         }
         fig = fig.push_series(Series::new(
             format!("StRoM: {}", size_label(osize)),
             strom_means,
         ));
     }
-    fig
+    fig.push_note(totals.note())
 }

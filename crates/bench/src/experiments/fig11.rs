@@ -18,7 +18,7 @@ use strom_nic::{RpcOpCode, Testbed, WorkRequest};
 use strom_sim::report::{Figure, Series};
 use strom_sim::SimRng;
 
-use super::{testbed_10g, Scale};
+use super::{testbed_10g, FaultTotals, Scale};
 
 /// Number of partitions (power of two ≤ 1024, §6.4).
 pub const PARTITIONS: u32 = 256;
@@ -62,6 +62,7 @@ pub fn run(scale: Scale) -> Figure {
     let mut plain = Vec::new();
     let mut strom = Vec::new();
     let mut sw = Vec::new();
+    let mut totals = FaultTotals::default();
 
     for &mb in &sizes {
         let size = mb << 20;
@@ -85,6 +86,7 @@ pub fn run(scale: Scale) -> Figure {
             tb.run_until_idle();
             plain.push((tb.now() - t0) as f64 / 1e12);
             assert_eq!(tb.payload_bytes_rx(1), size);
+            totals.absorb(&tb);
         }
 
         // --- StRoM shuffle kernel ---
@@ -131,6 +133,7 @@ pub fn run(scale: Scale) -> Figure {
             );
             tb.run_until_idle();
             strom.push((tb.now() - t0) as f64 / 1e12);
+            totals.absorb(&tb);
         }
 
         // --- SW partition + RDMA WRITE ---
@@ -176,6 +179,7 @@ pub fn run(scale: Scale) -> Figure {
             }
             tb.run_until_idle();
             sw.push((tb.now() - t0) as f64 / 1e12);
+            totals.absorb(&tb);
         }
     }
 
@@ -188,4 +192,5 @@ pub fn run(scale: Scale) -> Figure {
     .push_series(Series::new("SW + RDMA WRITE", sw))
     .push_series(Series::new("StRoM", strom))
     .push_series(Series::new("RDMA WRITE", plain))
+    .push_note(totals.note())
 }

@@ -50,6 +50,57 @@ impl Scale {
     }
 }
 
+/// Aggregates the fault/recovery counters of every testbed an experiment
+/// ran, for a figure footnote: drops by cause, retransmissions, backoff
+/// events, and QPs in the terminal error state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FaultTotals {
+    lost: u64,
+    crc_dropped: u64,
+    parse_dropped: u64,
+    reordered: u64,
+    duplicated: u64,
+    retransmissions: u64,
+    timeouts: u64,
+    backoff_events: u64,
+    qps_in_error: u64,
+}
+
+impl FaultTotals {
+    /// Folds both nodes' status registers into the totals.
+    pub fn absorb(&mut self, tb: &Testbed) {
+        for node in 0..2 {
+            let s = tb.status(node);
+            self.lost += s.frames_lost;
+            self.crc_dropped += s.frames_crc_dropped;
+            self.parse_dropped += s.frames_dropped;
+            self.reordered += s.frames_reordered;
+            self.duplicated += s.frames_duplicated;
+            self.retransmissions += s.retransmissions;
+            self.timeouts += s.timeouts;
+            self.backoff_events += s.backoff_events;
+            self.qps_in_error += s.qps_in_error;
+        }
+    }
+
+    /// One footnote line summarizing the totals.
+    pub fn note(&self) -> String {
+        format!(
+            "faults: lost={} crc_dropped={} parse_dropped={} reordered={} duplicated={} \
+             | recovery: retransmissions={} timeouts={} backoff_events={} qps_in_error={}",
+            self.lost,
+            self.crc_dropped,
+            self.parse_dropped,
+            self.reordered,
+            self.duplicated,
+            self.retransmissions,
+            self.timeouts,
+            self.backoff_events,
+            self.qps_in_error,
+        )
+    }
+}
+
 /// A fresh two-node 10 G testbed with one connected QP.
 pub fn testbed_10g() -> Testbed {
     let mut tb = Testbed::new(NicConfig::ten_gig());

@@ -14,5 +14,6 @@
 //! for every series printed here.
 
 pub mod experiments;
+pub mod micro;
 
 pub use experiments::{all_experiments, run_experiment, Scale};

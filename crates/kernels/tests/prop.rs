@@ -1,7 +1,8 @@
-//! Property-based tests of the kernels against reference interpreters.
+//! Randomized tests of the kernels against reference interpreters,
+//! driven by the deterministic [`SimRng`] with fixed seeds.
 
 use bytes::Bytes;
-use proptest::prelude::*;
+use strom_sim::SimRng;
 
 use strom_kernels::crc64::{crc64, Crc64};
 use strom_kernels::framework::{Kernel, KernelAction, KernelEvent};
@@ -34,17 +35,19 @@ fn reference_list_lookup(keys: &[u64], probe: u64, predicate: Predicate) -> Opti
     keys.iter().position(|&k| predicate.matches(k, probe))
 }
 
-proptest! {
-    /// The traversal kernel agrees with a reference interpreter on random
-    /// linked lists, probes, and predicates.
-    #[test]
-    fn traversal_matches_reference(
-        raw_keys in prop::collection::hash_set(1u64..1_000_000, 1..24),
-        probe in 1u64..1_000_000,
-        pred_idx in 0u8..4,
-    ) {
-        let keys: Vec<u64> = raw_keys.into_iter().collect();
-        let predicate = Predicate::from_u8(pred_idx).unwrap();
+/// The traversal kernel agrees with a reference interpreter on random
+/// linked lists, probes, and predicates.
+#[test]
+fn traversal_matches_reference() {
+    let mut rng = SimRng::seed(0x7a7);
+    for _ in 0..100 {
+        let mut key_set = std::collections::HashSet::new();
+        for _ in 0..rng.range(1, 24) {
+            key_set.insert(rng.range(1, 1_000_000));
+        }
+        let keys: Vec<u64> = key_set.into_iter().collect();
+        let probe = rng.range(1, 1_000_000);
+        let predicate = Predicate::from_u8(rng.below(4) as u8).unwrap();
         let mut mem = HostMemory::new();
         let (base, _) = mem.pin(HUGE_PAGE_SIZE).unwrap();
         let list = build_linked_list(&mut mem, base, &keys, 32);
@@ -60,31 +63,30 @@ proptest! {
         let expected = reference_list_lookup(&keys, probe, predicate);
         match (&actions[0], expected) {
             (KernelAction::RoceSend { data, .. }, Some(idx)) => {
-                prop_assert_eq!(&data[..], &value_pattern(keys[idx], 32)[..]);
-                prop_assert_eq!(kernel.last_hops() as usize, idx + 1);
+                assert_eq!(&data[..], &value_pattern(keys[idx], 32)[..]);
+                assert_eq!(kernel.last_hops() as usize, idx + 1);
             }
             (KernelAction::RoceSend { data, .. }, None) => {
                 let word = u64::from_le_bytes(data[..8].try_into().unwrap());
-                prop_assert!(
+                assert!(
                     strom_kernels::framework::decode_error(word).is_some(),
                     "miss must produce an error sentinel"
                 );
             }
-            (other, _) => {
-                return Err(TestCaseError::fail(format!("unexpected action {other:?}")));
-            }
+            (other, _) => panic!("unexpected action {other:?}"),
         }
     }
+}
 
-    /// Shuffle kernel output equals the reference partitioner for any
-    /// input and any packetization.
-    #[test]
-    fn shuffle_matches_reference(
-        values in prop::collection::vec(any::<u64>(), 0..500),
-        parts_pow in 0u32..8,
-        chunk in 1usize..700,
-    ) {
-        let num_partitions = 1u32 << parts_pow;
+/// Shuffle kernel output equals the reference partitioner for any input
+/// and any packetization.
+#[test]
+fn shuffle_matches_reference() {
+    let mut rng = SimRng::seed(0x5f1e);
+    for _ in 0..50 {
+        let values: Vec<u64> = (0..rng.below(500)).map(|_| rng.next_u64()).collect();
+        let num_partitions = 1u32 << rng.below(8);
+        let chunk = rng.range(1, 700) as usize;
         let mut kernel = ShuffleKernel::new();
         // Configure through the real histogram path.
         let bases: Vec<(u64, u32)> = (0..u64::from(num_partitions))
@@ -93,11 +95,17 @@ proptest! {
         let histogram = encode_histogram(&bases);
         let a = kernel.on_event(KernelEvent::Invoke {
             qpn: 1,
-            params: ShuffleParams { histogram_addr: 0, num_partitions }.encode(),
+            params: ShuffleParams {
+                histogram_addr: 0,
+                num_partitions,
+            }
+            .encode(),
         });
-        let is_histogram_read = matches!(a[0], KernelAction::DmaRead { .. });
-        prop_assert!(is_histogram_read);
-        kernel.on_event(KernelEvent::DmaData { tag: 1, data: Bytes::from(histogram) });
+        assert!(matches!(a[0], KernelAction::DmaRead { .. }));
+        kernel.on_event(KernelEvent::DmaData {
+            tag: 1,
+            data: Bytes::from(histogram),
+        });
 
         // Feed the tuple bytes in arbitrary-size chunks.
         let data: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
@@ -105,7 +113,9 @@ proptest! {
         let mut fed = 0usize;
         if data.is_empty() {
             let actions = kernel.on_event(KernelEvent::RoceData {
-                qpn: 1, data: Bytes::new(), last: true,
+                qpn: 1,
+                data: Bytes::new(),
+                last: true,
             });
             for act in actions {
                 if let KernelAction::DmaWrite { vaddr, data } = act {
@@ -137,84 +147,104 @@ proptest! {
             ws.sort_by_key(|(a, _)| *a);
             let mut cursor = (pid as u64) << 20;
             for (addr, bytes) in ws {
-                prop_assert_eq!(addr, cursor, "writes must be contiguous");
+                assert_eq!(addr, cursor, "writes must be contiguous");
                 cursor += bytes.len() as u64;
                 for c in bytes.chunks_exact(8) {
                     got[pid].push(u64::from_le_bytes(c.try_into().unwrap()));
                 }
             }
         }
-        prop_assert_eq!(got, reference_partition(&values, num_partitions as usize));
-        prop_assert_eq!(kernel.values(), values.len() as u64);
-        prop_assert_eq!(kernel.overflowed(), 0);
+        assert_eq!(got, reference_partition(&values, num_partitions as usize));
+        assert_eq!(kernel.values(), values.len() as u64);
+        assert_eq!(kernel.overflowed(), 0);
     }
+}
 
-    /// HLL estimates stay within 6 standard errors for arbitrary streams
-    /// (a generous bound so the test is not flaky, still catching gross
-    /// estimator bugs).
-    #[test]
-    fn hll_error_bound(seed in any::<u64>(), n in 100u64..50_000) {
+/// HLL estimates stay within 6 standard errors for arbitrary streams (a
+/// generous bound so the test is not flaky, still catching gross
+/// estimator bugs).
+#[test]
+fn hll_error_bound() {
+    let mut rng = SimRng::seed(0x811);
+    for _ in 0..20 {
+        let seed = rng.next_u64();
+        let n = rng.range(100, 50_000);
         let mut h = HyperLogLog::new(12);
         let mut x = seed | 1;
         let mut distinct = std::collections::HashSet::new();
         for _ in 0..n {
             // A weak LCG stream with deliberate duplicates.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = x >> 16 & 0xffff_ffff;
             distinct.insert(v);
             h.add_u64(v);
         }
         let truth = distinct.len() as f64;
         let err = (h.estimate() - truth).abs() / truth;
-        prop_assert!(
+        assert!(
             err < 6.0 * h.standard_error(),
             "relative error {err} vs bound {}",
             6.0 * h.standard_error()
         );
     }
+}
 
-    /// HLL merge commutes and equals the union.
-    #[test]
-    fn hll_merge_commutes(
-        xs in prop::collection::vec(any::<u64>(), 0..2000),
-        ys in prop::collection::vec(any::<u64>(), 0..2000),
-    ) {
+/// HLL merge commutes and equals the union.
+#[test]
+fn hll_merge_commutes() {
+    let mut rng = SimRng::seed(0x3e9);
+    for _ in 0..20 {
+        let xs: Vec<u64> = (0..rng.below(2000)).map(|_| rng.next_u64()).collect();
+        let ys: Vec<u64> = (0..rng.below(2000)).map(|_| rng.next_u64()).collect();
         let mut a = HyperLogLog::new(10);
         let mut b = HyperLogLog::new(10);
         let mut union = HyperLogLog::new(10);
-        for &x in &xs { a.add_u64(x); union.add_u64(x); }
-        for &y in &ys { b.add_u64(y); union.add_u64(y); }
+        for &x in &xs {
+            a.add_u64(x);
+            union.add_u64(x);
+        }
+        for &y in &ys {
+            b.add_u64(y);
+            union.add_u64(y);
+        }
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(ab.estimate(), ba.estimate());
-        prop_assert_eq!(ab.estimate(), union.estimate());
+        assert_eq!(ab.estimate(), ba.estimate());
+        assert_eq!(ab.estimate(), union.estimate());
     }
+}
 
-    /// Streaming CRC64 equals one-shot for any chunking.
-    #[test]
-    fn crc64_chunking_invariance(
-        data in prop::collection::vec(any::<u8>(), 0..4096),
-        chunk in 1usize..512,
-    ) {
+/// Streaming CRC64 equals one-shot for any chunking.
+#[test]
+fn crc64_chunking_invariance() {
+    let mut rng = SimRng::seed(0xc6c);
+    for _ in 0..100 {
+        let mut data = vec![0u8; rng.below(4096) as usize];
+        rng.fill_bytes(&mut data);
+        let chunk = rng.range(1, 512) as usize;
         let mut c = Crc64::new();
         for piece in data.chunks(chunk) {
             c.update(piece);
         }
-        prop_assert_eq!(c.finish(), crc64(&data));
+        assert_eq!(c.finish(), crc64(&data));
     }
+}
 
-    /// CRC64 detects any single-byte corruption.
-    #[test]
-    fn crc64_detects_single_byte_changes(
-        data in prop::collection::vec(any::<u8>(), 1..2048),
-        idx in any::<prop::sample::Index>(),
-        delta in 1u8..=255,
-    ) {
+/// CRC64 detects any single-byte corruption.
+#[test]
+fn crc64_detects_single_byte_changes() {
+    let mut rng = SimRng::seed(0xc6d);
+    for _ in 0..200 {
+        let mut data = vec![0u8; rng.range(1, 2048) as usize];
+        rng.fill_bytes(&mut data);
+        let i = rng.below(data.len() as u64) as usize;
+        let delta = rng.range(1, 256) as u8;
         let mut corrupted = data.clone();
-        let i = idx.index(corrupted.len());
         corrupted[i] = corrupted[i].wrapping_add(delta);
-        prop_assert_ne!(crc64(&corrupted), crc64(&data));
+        assert_ne!(crc64(&corrupted), crc64(&data));
     }
 }

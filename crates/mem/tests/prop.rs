@@ -1,9 +1,9 @@
-//! Property-based tests of the memory substrate: TLB command splitting
-//! and the virtual/physical consistency of host memory.
-
-use proptest::prelude::*;
+//! Randomized tests of the memory substrate: TLB command splitting and
+//! the virtual/physical consistency of host memory. Driven by the
+//! deterministic [`SimRng`] with fixed seeds.
 
 use strom_mem::{HostMemory, Tlb, HUGE_PAGE_SIZE};
+use strom_sim::SimRng;
 
 fn pinned(pages: u64) -> (HostMemory, Tlb, u64) {
     let mut mem = HostMemory::new();
@@ -13,39 +13,42 @@ fn pinned(pages: u64) -> (HostMemory, Tlb, u64) {
     (mem, tlb, base)
 }
 
-proptest! {
-    /// TLB command splitting covers exactly the requested range, in
-    /// order, with no segment crossing a 2 MB physical boundary, and each
-    /// segment's physical address matches the per-address translation.
-    #[test]
-    fn tlb_split_invariants(
-        offset in 0u64..(4 * HUGE_PAGE_SIZE),
-        len in 0u32..6_000_000,
-    ) {
+/// TLB command splitting covers exactly the requested range, in order,
+/// with no segment crossing a 2 MB physical boundary, and each segment's
+/// physical address matches the per-address translation.
+#[test]
+fn tlb_split_invariants() {
+    let mut rng = SimRng::seed(0x71b);
+    for _ in 0..200 {
+        let offset = rng.below(4 * HUGE_PAGE_SIZE);
+        let len = rng.below(6_000_000) as u32;
         let (_, tlb, base) = pinned(8);
         let vaddr = base + offset;
         let segs = tlb.translate_command(vaddr, len).expect("in range");
         let total: u64 = segs.iter().map(|s| u64::from(s.len)).sum();
-        prop_assert_eq!(total, u64::from(len));
+        assert_eq!(total, u64::from(len));
         let mut cursor = vaddr;
         for s in &segs {
-            prop_assert!(s.len > 0);
-            prop_assert_eq!(s.paddr, tlb.translate(cursor).unwrap());
-            prop_assert!(
+            assert!(s.len > 0);
+            assert_eq!(s.paddr, tlb.translate(cursor).unwrap());
+            assert!(
                 s.paddr % HUGE_PAGE_SIZE + u64::from(s.len) <= HUGE_PAGE_SIZE,
                 "segment crosses a physical page"
             );
             cursor += u64::from(s.len);
         }
     }
+}
 
-    /// Whatever the CPU writes virtually, the DMA engine reads physically
-    /// through the TLB — byte for byte, across page boundaries.
-    #[test]
-    fn cpu_writes_visible_to_dma(
-        offset in 0u64..(2 * HUGE_PAGE_SIZE),
-        data in prop::collection::vec(any::<u8>(), 1..5000),
-    ) {
+/// Whatever the CPU writes virtually, the DMA engine reads physically
+/// through the TLB — byte for byte, across page boundaries.
+#[test]
+fn cpu_writes_visible_to_dma() {
+    let mut rng = SimRng::seed(0xd3a);
+    for _ in 0..100 {
+        let offset = rng.below(2 * HUGE_PAGE_SIZE);
+        let mut data = vec![0u8; rng.range(1, 5000) as usize];
+        rng.fill_bytes(&mut data);
         let (mut mem, tlb, base) = pinned(4);
         let vaddr = base + offset;
         mem.write(vaddr, &data);
@@ -57,15 +60,18 @@ proptest! {
             mem.phys_read(s.paddr, &mut buf);
             dma.extend_from_slice(&buf);
         }
-        prop_assert_eq!(dma, data);
+        assert_eq!(dma, data);
     }
+}
 
-    /// And the converse: DMA writes are visible to the CPU.
-    #[test]
-    fn dma_writes_visible_to_cpu(
-        offset in 0u64..(2 * HUGE_PAGE_SIZE),
-        data in prop::collection::vec(any::<u8>(), 1..5000),
-    ) {
+/// And the converse: DMA writes are visible to the CPU.
+#[test]
+fn dma_writes_visible_to_cpu() {
+    let mut rng = SimRng::seed(0xdc9);
+    for _ in 0..100 {
+        let offset = rng.below(2 * HUGE_PAGE_SIZE);
+        let mut data = vec![0u8; rng.range(1, 5000) as usize];
+        rng.fill_bytes(&mut data);
         let (mut mem, tlb, base) = pinned(4);
         let vaddr = base + offset;
         let segs = tlb.translate_command(vaddr, data.len() as u32).unwrap();
@@ -74,38 +80,42 @@ proptest! {
             mem.phys_write(s.paddr, &data[off..off + s.len as usize]);
             off += s.len as usize;
         }
-        prop_assert_eq!(mem.read(vaddr, data.len()), data);
+        assert_eq!(mem.read(vaddr, data.len()), data);
     }
+}
 
-    /// Distinct pinned regions never alias: writes to one never appear in
-    /// another.
-    #[test]
-    fn regions_do_not_alias(
-        len_a in 1u64..(2 * HUGE_PAGE_SIZE),
-        len_b in 1u64..(2 * HUGE_PAGE_SIZE),
-        byte in any::<u8>(),
-    ) {
+/// Distinct pinned regions never alias: writes to one never appear in
+/// another.
+#[test]
+fn regions_do_not_alias() {
+    let mut rng = SimRng::seed(0xa11a5);
+    for _ in 0..50 {
+        let len_a = rng.range(1, 2 * HUGE_PAGE_SIZE);
+        let len_b = rng.range(1, 2 * HUGE_PAGE_SIZE);
+        let byte = rng.next_u64() as u8;
         let mut mem = HostMemory::new();
         let (a, _) = mem.pin(len_a).unwrap();
         let (b, _) = mem.pin(len_b).unwrap();
         mem.write(a, &vec![byte; len_a as usize]);
         // Region B still reads zero.
-        prop_assert!(mem.read(b, len_b as usize).iter().all(|&x| x == 0));
+        assert!(mem.read(b, len_b as usize).iter().all(|&x| x == 0));
         mem.write(b, &vec![byte.wrapping_add(1); len_b as usize]);
-        prop_assert!(mem.read(a, len_a as usize).iter().all(|&x| x == byte));
+        assert!(mem.read(a, len_a as usize).iter().all(|&x| x == byte));
     }
+}
 
-    /// Overlapping writes leave the last value (write-after-write order).
-    #[test]
-    fn write_after_write(
-        off1 in 0u64..1000,
-        off2 in 0u64..1000,
-        len in 1usize..1000,
-    ) {
+/// Overlapping writes leave the last value (write-after-write order).
+#[test]
+fn write_after_write() {
+    let mut rng = SimRng::seed(0x3a3);
+    for _ in 0..200 {
+        let off1 = rng.below(1000);
+        let off2 = rng.below(1000);
+        let len = rng.range(1, 1000) as usize;
         let (mut mem, _, base) = pinned(1);
         mem.write(base + off1, &vec![0x11; len]);
         mem.write(base + off2, &vec![0x22; len]);
         let readback = mem.read(base + off2, len);
-        prop_assert!(readback.iter().all(|&b| b == 0x22));
+        assert!(readback.iter().all(|&b| b == 0x22));
     }
 }

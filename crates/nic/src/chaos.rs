@@ -1,0 +1,134 @@
+//! Seeded chaos schedules for the soak harness.
+//!
+//! A chaos run is parameterized by a single `u64` seed: the seed picks
+//! which fault types are active (always at least two) and their rates,
+//! and the same seed also drives the testbed RNG — so a failing soak run
+//! is reproduced exactly by re-running its seed.
+//!
+//! Rates are bounded to a regime the protocol should *survive*: bursty
+//! enough to exercise go-back-N, NAKs, backoff, and ICRC drops, but
+//! below the point where a 7-retry budget legitimately exhausts. Retry
+//! exhaustion has its own dedicated test with loss = 1.0.
+
+use strom_sim::time::MICROS;
+use strom_sim::SimRng;
+
+use crate::fault::{LinkFaultModel, LossModel};
+
+/// The fault dimensions a chaos schedule composes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultKind {
+    Loss,
+    Corrupt,
+    Reorder,
+    Duplicate,
+}
+
+/// Builds the fault model for one chaos seed: at least two fault types,
+/// with rates drawn from survivable ranges. Deterministic in `seed`.
+pub fn chaos_model(seed: u64) -> LinkFaultModel {
+    // Domain-separate from the testbed RNG, which runs on `seed` itself.
+    let mut rng = SimRng::seed(seed ^ 0xC4A0_5EED);
+    let mut kinds = [
+        FaultKind::Loss,
+        FaultKind::Corrupt,
+        FaultKind::Reorder,
+        FaultKind::Duplicate,
+    ];
+    rng.shuffle(&mut kinds);
+    let active = rng.range(2, kinds.len() as u64 + 1) as usize;
+
+    let mut model = LinkFaultModel::none();
+    for kind in &kinds[..active] {
+        match kind {
+            FaultKind::Loss => {
+                model.loss = if rng.chance(0.5) {
+                    // Bursty: mostly-clean good state, short lossy bursts.
+                    LossModel::GilbertElliott {
+                        p_good_to_bad: 0.005 + rng.unit() * 0.045,
+                        p_bad_to_good: 0.2 + rng.unit() * 0.3,
+                        loss_good: rng.unit() * 0.01,
+                        loss_bad: 0.1 + rng.unit() * 0.3,
+                    }
+                } else {
+                    LossModel::Bernoulli(0.01 + rng.unit() * 0.09)
+                };
+            }
+            FaultKind::Corrupt => {
+                model.corrupt_rate = 0.005 + rng.unit() * 0.025;
+            }
+            FaultKind::Reorder => {
+                model.reorder_rate = 0.01 + rng.unit() * 0.09;
+                model.reorder_jitter = rng.range(MICROS, 20 * MICROS);
+            }
+            FaultKind::Duplicate => {
+                model.duplicate_rate = 0.005 + rng.unit() * 0.045;
+            }
+        }
+    }
+    model
+}
+
+/// How many fault dimensions a model has switched on.
+pub fn active_fault_types(model: &LinkFaultModel) -> usize {
+    usize::from(model.loss != LossModel::None)
+        + usize::from(model.corrupt_rate > 0.0)
+        + usize::from(model.reorder_rate > 0.0 && model.reorder_jitter > 0)
+        + usize::from(model.duplicate_rate > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_activates_at_least_two_fault_types() {
+        for seed in 0..200u64 {
+            let m = chaos_model(seed);
+            assert!(
+                active_fault_types(&m) >= 2,
+                "seed {seed} produced {m:?} with < 2 fault types"
+            );
+        }
+    }
+
+    #[test]
+    fn models_are_deterministic_in_the_seed() {
+        for seed in [0u64, 1, 7, 0xdead_beef, u64::MAX] {
+            assert_eq!(chaos_model(seed), chaos_model(seed));
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_models() {
+        let a = chaos_model(1);
+        let b = chaos_model(2);
+        assert_ne!(a, b, "different seeds should explore different faults");
+    }
+
+    #[test]
+    fn rates_stay_in_the_survivable_regime() {
+        for seed in 0..200u64 {
+            let m = chaos_model(seed);
+            match m.loss {
+                LossModel::None => {}
+                LossModel::Bernoulli(p) => assert!(p <= 0.10, "seed {seed}: loss {p}"),
+                LossModel::GilbertElliott {
+                    p_good_to_bad,
+                    p_bad_to_good,
+                    loss_good,
+                    loss_bad,
+                } => {
+                    assert!(p_good_to_bad <= 0.05);
+                    assert!(p_bad_to_good >= 0.2, "bursts must end");
+                    assert!(loss_good <= 0.01);
+                    assert!(loss_bad <= 0.4);
+                }
+            }
+            assert!(m.corrupt_rate <= 0.03, "seed {seed}");
+            assert!(m.reorder_rate <= 0.10, "seed {seed}");
+            assert!(m.reorder_jitter <= 20 * MICROS, "seed {seed}");
+            assert!(m.duplicate_rate <= 0.05, "seed {seed}");
+        }
+    }
+}

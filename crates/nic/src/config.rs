@@ -1,5 +1,6 @@
 //! Testbed configuration: the 10 G and 100 G platforms of the paper.
 
+use crate::fault::LinkFaultModel;
 use strom_mem::PcieModel;
 use strom_sim::time::{TimeDelta, MICROS, NANOS};
 use strom_sim::{Bandwidth, Clock};
@@ -38,8 +39,16 @@ pub struct NicConfig {
     /// Kernel fabric dispatch latency in cycles (op-code match + FIFO
     /// hop, "negligible latency", §5.2).
     pub kernel_dispatch_cycles: u64,
-    /// Probability that the link drops a frame (fault injection).
-    pub loss_rate: f64,
+    /// Link fault injection: loss (Bernoulli or bursty), corruption,
+    /// reordering, duplication. Defaults to a clean wire.
+    pub fault: LinkFaultModel,
+    /// Retry budget per QP: after this many consecutive timeout-driven
+    /// retransmissions without progress the QP enters the error state
+    /// (IB `retry_cnt` semantics).
+    pub max_retries: u32,
+    /// Cap on the exponential-backoff shift: the n-th consecutive timeout
+    /// waits `retransmit_timeout << min(n, cap)`.
+    pub backoff_shift_cap: u32,
     /// RNG seed for the testbed.
     pub seed: u64,
 }
@@ -63,7 +72,9 @@ impl NicConfig {
             host_post_overhead: 250 * NANOS,
             poll_overhead: 100 * NANOS,
             kernel_dispatch_cycles: 8,
-            loss_rate: 0.0,
+            fault: LinkFaultModel::none(),
+            max_retries: 7,
+            backoff_shift_cap: 6,
             seed: 0x5150,
         }
     }
@@ -86,7 +97,9 @@ impl NicConfig {
             host_post_overhead: 250 * NANOS,
             poll_overhead: 100 * NANOS,
             kernel_dispatch_cycles: 8,
-            loss_rate: 0.0,
+            fault: LinkFaultModel::none(),
+            max_retries: 7,
+            backoff_shift_cap: 6,
             seed: 0x5150,
         }
     }

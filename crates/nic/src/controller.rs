@@ -198,12 +198,27 @@ pub struct StatusRegisters {
     pub commands: u64,
     /// Frames received (pre-parse).
     pub frames_rx: u64,
-    /// Frames that failed parsing/ICRC.
+    /// Frames that failed structural parsing (malformed headers).
     pub frames_dropped: u64,
+    /// Frames dropped because a checksum caught in-flight corruption
+    /// (ICRC over BTH+payload, or the IPv4 header checksum).
+    pub frames_crc_dropped: u64,
+    /// Frames the injected link fault model dropped outright.
+    pub frames_lost: u64,
+    /// Frames delivered out of order by the fault model's jitter.
+    pub frames_reordered: u64,
+    /// Frames delivered twice by the fault model.
+    pub frames_duplicated: u64,
     /// Payload bytes written to host memory by WRITEs.
     pub payload_bytes_rx: u64,
     /// Packets retransmitted by the requester.
     pub retransmissions: u64,
+    /// Retransmission-timer expirations.
+    pub timeouts: u64,
+    /// Timer expirations that re-armed with a backed-off timeout.
+    pub backoff_events: u64,
+    /// Queue pairs in the terminal error state (retry budget exhausted).
+    pub qps_in_error: u64,
     /// Kernel invocations completed.
     pub kernel_invocations: u64,
     /// RPCs that matched no kernel.

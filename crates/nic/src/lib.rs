@@ -16,18 +16,23 @@
 //! are exercised functionally; only *time* is modeled, using the clock,
 //! PCIe, and line-rate constants documented in `NicConfig`.
 
+pub mod chaos;
 pub mod config;
 pub mod controller;
 pub mod event;
 pub mod fabric;
+pub mod fault;
 pub mod testbed;
 
 pub use config::NicConfig;
 pub use controller::{CommandWord, StatusRegisters};
 pub use event::{Event, NodeId};
 pub use fabric::KernelFabric;
+pub use fault::{LinkFaultModel, LossModel};
 pub use testbed::{CpuFallback, Testbed, WatchId};
 
+pub use chaos::{active_fault_types, chaos_model};
+
 // Re-export the work-request vocabulary users need at the testbed API.
-pub use strom_proto::{Completion, WorkRequest};
+pub use strom_proto::{Completion, CompletionStatus, WorkRequest};
 pub use strom_wire::opcode::RpcOpCode;

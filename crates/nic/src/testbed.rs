@@ -22,19 +22,20 @@ use bytes::Bytes;
 use strom_kernels::framework::{Kernel, KernelAction};
 use strom_mem::{HostMemory, Tlb};
 use strom_proto::{
-    PacketDescriptor, PayloadSource, Requester, Responder, ResponderAction, RetransmissionTimer,
-    StateTable, WorkRequest,
+    CompletionStatus, PacketDescriptor, PayloadSource, Requester, Responder, ResponderAction,
+    RetransmissionTimer, StateTable, WorkRequest,
 };
 use strom_sim::time::{Time, TimeDelta};
 use strom_sim::{EventQueue, LinkSerializer, SimRng};
 use strom_wire::bth::{Aeth, AethSyndrome, Psn, Qpn};
 use strom_wire::opcode::{Opcode, RpcOpCode};
-use strom_wire::packet::Packet;
+use strom_wire::packet::{Packet, PacketError};
 use strom_wire::segment::segment_message;
 
 use crate::config::NicConfig;
 use crate::event::{Event, NodeId};
 use crate::fabric::KernelFabric;
+use crate::fault::{self, LinkFaultModel, LinkFaultState};
 
 /// Handle to a registered memory watch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +107,12 @@ struct Node {
     frames_rx: u64,
     frames_dropped_on_link: u64,
     frames_parse_dropped: u64,
+    /// Frames a checksum (ICRC or IPv4 header) caught and dropped.
+    frames_crc_dropped: u64,
+    /// Frames toward this node delivered out of order by fault jitter.
+    frames_reordered: u64,
+    /// Frames toward this node delivered twice by the fault model.
+    frames_duplicated: u64,
     payload_bytes_rx: u64,
 }
 
@@ -117,8 +124,11 @@ pub struct Testbed {
     links: Vec<LinkSerializer>,
     queue: EventQueue<Event>,
     rng: SimRng,
-    /// Completion time per (node, handle).
-    completions: HashMap<(NodeId, u64), Time>,
+    /// Per-transmit-direction fault-model state (`fault_state[n]` is the
+    /// Gilbert–Elliott chain for frames *sent by* node n).
+    fault_state: [LinkFaultState; 2],
+    /// Completion time and outcome per (node, handle).
+    completions: HashMap<(NodeId, u64), (Time, CompletionStatus)>,
     /// Protocol wr_id → testbed handle.
     wr_map: HashMap<(NodeId, u64), u64>,
     next_handle: u64,
@@ -138,7 +148,8 @@ impl Testbed {
             state: StateTable::new(cfg.num_qps),
             responder: Responder::new(cfg.num_qps, cfg.max_payload()),
             requester: Requester::new(cfg.num_qps, cfg.max_outstanding_reads, cfg.max_payload()),
-            timer: RetransmissionTimer::new(cfg.num_qps, cfg.retransmit_timeout),
+            timer: RetransmissionTimer::new(cfg.num_qps, cfg.retransmit_timeout)
+                .with_backoff_cap(cfg.backoff_shift_cap),
             fabric: KernelFabric::new(seed),
             dma: LinkSerializer::new(cfg.pcie.bandwidth),
             next_cmd_issue: 0,
@@ -152,6 +163,9 @@ impl Testbed {
             frames_rx: 0,
             frames_dropped_on_link: 0,
             frames_parse_dropped: 0,
+            frames_crc_dropped: 0,
+            frames_reordered: 0,
+            frames_duplicated: 0,
             payload_bytes_rx: 0,
         };
         Self {
@@ -162,6 +176,7 @@ impl Testbed {
             ],
             queue: EventQueue::new(),
             rng: SimRng::seed(cfg.seed),
+            fault_state: [LinkFaultState::default(); 2],
             completions: HashMap::new(),
             wr_map: HashMap::new(),
             next_handle: 1,
@@ -292,9 +307,26 @@ impl Testbed {
         }
     }
 
-    /// Sets the link loss probability (fault injection).
+    /// Sets independent Bernoulli link loss — a convenience wrapper around
+    /// [`Self::set_fault_model`] preserving the original single-knob API.
+    /// Replaces any fault model in force.
     pub fn set_loss_rate(&mut self, rate: f64) {
-        self.cfg.loss_rate = rate;
+        self.cfg.fault = LinkFaultModel::bernoulli(rate);
+    }
+
+    /// Installs a composable link fault model (loss, corruption,
+    /// reordering, duplication) and resets the per-direction loss-model
+    /// state, so the chaos schedule is fully determined by the model plus
+    /// the testbed seed.
+    pub fn set_fault_model(&mut self, model: LinkFaultModel) {
+        self.cfg.fault = model;
+        self.fault_state = [LinkFaultState::default(); 2];
+    }
+
+    /// Whether `qpn` on `node` is in the terminal error state (retry
+    /// budget exhausted).
+    pub fn qp_errored(&self, node: NodeId, qpn: Qpn) -> bool {
+        self.nodes[node].requester.is_errored(qpn)
     }
 
     /// Performs network bring-up: each node broadcasts an ARP who-has for
@@ -415,8 +447,15 @@ impl Testbed {
             commands: n.commands,
             frames_rx: n.frames_rx,
             frames_dropped: n.frames_parse_dropped,
+            frames_crc_dropped: n.frames_crc_dropped,
+            frames_lost: n.frames_dropped_on_link,
+            frames_reordered: n.frames_reordered,
+            frames_duplicated: n.frames_duplicated,
             payload_bytes_rx: n.payload_bytes_rx,
             retransmissions: n.requester.retransmissions(),
+            timeouts: n.timer.expirations(),
+            backoff_events: n.timer.backoff_events(),
+            qps_in_error: n.requester.qps_in_error(),
             kernel_invocations: n.fabric.completed(),
             rpc_unmatched: n.fabric.unmatched(),
         }
@@ -458,9 +497,15 @@ impl Testbed {
         }
     }
 
-    /// When the given work request completed (ACKed / data delivered).
+    /// When the given work request completed (ACKed / data delivered /
+    /// failed terminally).
     pub fn completed_at(&self, node: NodeId, handle: u64) -> Option<Time> {
-        self.completions.get(&(node, handle)).copied()
+        self.completions.get(&(node, handle)).map(|&(t, _)| t)
+    }
+
+    /// How the given work request completed, once it has.
+    pub fn completion_status(&self, node: NodeId, handle: u64) -> Option<CompletionStatus> {
+        self.completions.get(&(node, handle)).map(|&(_, s)| s)
     }
 
     /// Runs until a work request completes; returns the completion time.
@@ -488,6 +533,27 @@ impl Testbed {
     /// Runs the event loop dry.
     pub fn run_until_idle(&mut self) {
         while self.step() {}
+    }
+
+    /// Runs the event loop dry, but gives up after `max_events` events.
+    ///
+    /// Returns `true` if the simulation quiesced within the budget — the
+    /// chaos harness's livelock detector: a retransmission storm that
+    /// never converges fails this instead of hanging the test suite.
+    pub fn run_until_idle_bounded(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.queue.is_empty()
+    }
+
+    /// Whether `qpn` on `node` still has unacknowledged messages or
+    /// outstanding reads (a "stuck QP" probe for the chaos harness: after
+    /// the sim quiesces, nothing may be left outstanding on a healthy QP).
+    pub fn qp_has_outstanding(&self, node: NodeId, qpn: Qpn) -> bool {
+        self.nodes[node].requester.has_outstanding(qpn)
     }
 
     /// Processes one event; returns `false` when the queue is empty.
@@ -552,6 +618,13 @@ impl Testbed {
                     },
                 );
             }
+            Err(strom_proto::requester::PostError::QpInError) => {
+                // The QP went terminal while the doorbell was in flight:
+                // complete immediately with an error instead of wedging
+                // the host, which may be blocked on this handle.
+                self.completions
+                    .insert((node, handle), (now, CompletionStatus::RetryExceeded));
+            }
             Err(e) => panic!("post failed on node {node}: {e}"),
         }
     }
@@ -560,6 +633,14 @@ impl Testbed {
         self.nodes[node].frames_rx += 1;
         let pkt = match Packet::parse(frame) {
             Ok(p) => p,
+            // A checksum catching in-flight corruption (ICRC over
+            // BTH+payload, IPv4 header checksum) degrades the frame into a
+            // loss the retransmission machinery recovers from; count it
+            // separately from structurally malformed frames.
+            Err(PacketError::Icrc | PacketError::Ip) => {
+                self.nodes[node].frames_crc_dropped += 1;
+                return;
+            }
             Err(_) => {
                 self.nodes[node].frames_parse_dropped += 1;
                 return;
@@ -588,7 +669,7 @@ impl Testbed {
                         self.cfg.pcie.bypass_overhead,
                     );
                     if let Some(c) = completion {
-                        self.record_completion(node, c.wr_id, done);
+                        self.record_completion(node, &c, done);
                     }
                     // Every response packet is forward progress: restart
                     // the retransmission timer (standard RC requester
@@ -609,7 +690,7 @@ impl Testbed {
         let n = &mut self.nodes[node];
         let (completions, retransmit) = n.requester.on_ack(&mut n.state, qpn, psn, aeth);
         for c in completions {
-            self.record_completion(node, c.wr_id, now);
+            self.record_completion(node, &c, now);
         }
         for desc in retransmit {
             self.send_descriptor(node, &desc, now);
@@ -669,11 +750,23 @@ impl Testbed {
         self.nodes[node].check_at = None;
         let expired = self.nodes[node].timer.expired(now);
         for qpn in expired {
-            if self.nodes[node].requester.has_outstanding(qpn) {
-                let descs = self.nodes[node].requester.on_timeout(qpn);
-                for desc in descs {
-                    self.send_descriptor(node, &desc, now);
+            if !self.nodes[node].requester.has_outstanding(qpn) {
+                continue;
+            }
+            // Retry budget (IB retry_cnt): after max_retries consecutive
+            // timeouts without progress the QP goes terminal instead of
+            // retransmitting forever. Everything in flight completes with
+            // an error status so the host observes the failure.
+            if self.nodes[node].timer.attempts(qpn) > self.cfg.max_retries {
+                let completions = self.nodes[node].requester.fail_qp(qpn);
+                for c in completions {
+                    self.record_completion(node, &c, now);
                 }
+                continue;
+            }
+            let descs = self.nodes[node].requester.on_timeout(qpn);
+            for desc in descs {
+                self.send_descriptor(node, &desc, now);
             }
         }
         self.schedule_check(node);
@@ -968,7 +1061,12 @@ impl Testbed {
             self.schedule_check(node);
         }
         let peer = 1 - node;
-        if self.cfg.loss_rate > 0.0 && self.rng.chance(self.cfg.loss_rate) {
+        // Fault pipeline, in wire order: a frame is first subject to loss,
+        // then (if it survives) to corruption, reordering, and
+        // duplication. Decisions draw from the testbed RNG in this fixed
+        // order, so a chaos run replays exactly from (seed, fault model).
+        let fault = self.cfg.fault;
+        if fault.should_drop(&mut self.fault_state[node], &mut self.rng) {
             self.nodes[peer].frames_dropped_on_link += 1;
             return;
         }
@@ -977,14 +1075,42 @@ impl Testbed {
             + self.cfg.store_and_forward_time(ip_len)
             + self.cfg.rx_pipeline_time())
         .max(self.last_arrival[peer] + self.cfg.clock.period_ps());
-        self.last_arrival[peer] = arrival;
-        self.queue.schedule_at(
-            arrival,
-            Event::FrameArrive {
-                node: peer,
-                frame: pkt.encode(),
-            },
-        );
+        let mut frame = pkt.encode();
+        if fault.corrupt_rate > 0.0 && fault.should_corrupt(&mut self.rng) {
+            // One bit flips in flight; the receiver's checksums must catch
+            // it (frames_crc_dropped) unless it lands in the handful of
+            // unprotected header bytes, where it is harmless.
+            fault::flip_random_bit(&mut frame, &mut self.rng);
+        }
+        let arrival = match if fault.reorder_rate > 0.0 {
+            fault.reorder_delay(&mut self.rng)
+        } else {
+            None
+        } {
+            Some(jitter) => {
+                // Held back by jitter — and deliberately NOT recorded in
+                // last_arrival, so frames behind it overtake it (the FIFO
+                // clamp is what normally forbids that).
+                self.nodes[peer].frames_reordered += 1;
+                arrival + jitter
+            }
+            None => {
+                self.last_arrival[peer] = arrival;
+                arrival
+            }
+        };
+        if fault.duplicate_rate > 0.0 && fault.should_duplicate(&mut self.rng) {
+            self.nodes[peer].frames_duplicated += 1;
+            self.queue.schedule_at(
+                arrival + self.cfg.clock.period_ps(),
+                Event::FrameArrive {
+                    node: peer,
+                    frame: frame.clone(),
+                },
+            );
+        }
+        self.queue
+            .schedule_at(arrival, Event::FrameArrive { node: peer, frame });
     }
 
     // ----- helpers ----------------------------------------------------------
@@ -1119,13 +1245,16 @@ impl Testbed {
         }
     }
 
-    fn record_completion(&mut self, node: NodeId, wr_id: u64, at: Time) {
-        if let Some(handle) = self.wr_map.remove(&(node, wr_id)) {
-            self.completions.insert((node, handle), at);
+    fn record_completion(&mut self, node: NodeId, c: &strom_proto::Completion, at: Time) {
+        if let Some(handle) = self.wr_map.remove(&(node, c.wr_id)) {
+            self.completions.insert((node, handle), (at, c.status));
         }
     }
 
     fn refresh_timer(&mut self, node: NodeId, qpn: Qpn, now: Time) {
+        // Any ACK/NAK/response from the peer is evidence it is alive:
+        // reset the retry budget and exponential backoff.
+        self.nodes[node].timer.note_progress(qpn);
         let outstanding = self.nodes[node].requester.has_outstanding(qpn);
         if outstanding {
             // Restart the timer on progress — but never let the deadline

@@ -21,7 +21,10 @@ pub mod state_table;
 pub use msn_table::MsnTable;
 pub use multi_queue::MultiQueue;
 pub use psn::{psn_add, psn_cmp, PsnClass};
-pub use requester::{Completion, PacketDescriptor, PayloadSource, Requester, WorkRequest};
+pub use requester::{
+    Completion, CompletionStatus, PacketDescriptor, PayloadSource, PostError, Requester,
+    WorkRequest,
+};
 pub use responder::{Responder, ResponderAction};
 pub use retransmit::RetransmissionTimer;
 pub use state_table::StateTable;

@@ -206,6 +206,30 @@ impl MultiQueue {
         }
         Some((addr, done))
     }
+
+    /// Drops every outstanding read of `qpn`, returning its slots to the
+    /// shared free list. Returns the number of reads flushed.
+    ///
+    /// Used when a QP transitions to the error state: its list must not
+    /// keep holding shared capacity hostage.
+    pub fn flush(&mut self, qpn: Qpn) -> u32 {
+        let Some(meta) = self.meta.get_mut(qpn as usize) else {
+            return 0;
+        };
+        let flushed = meta.len;
+        let mut idx = meta.head;
+        while idx != NIL {
+            let e = &mut self.elements[idx as usize];
+            let next = e.next;
+            e.next = self.free_head;
+            e.is_tail = false;
+            self.free_head = idx;
+            self.free_count += 1;
+            idx = next;
+        }
+        *meta = ListMeta::default();
+        flushed
+    }
 }
 
 #[cfg(test)]
@@ -303,5 +327,37 @@ mod tests {
         assert!(!mq.push(5, 0, 1));
         assert!(mq.peek(5).is_none());
         assert!(mq.consume(5, 1).is_none());
+        assert_eq!(mq.flush(5), 0);
+    }
+
+    #[test]
+    fn flush_frees_every_slot_of_one_qp() {
+        let mut mq = MultiQueue::new(2, 4);
+        mq.push(0, 0x100, 8);
+        mq.push(0, 0x200, 8);
+        mq.push(1, 0x300, 8);
+        assert_eq!(mq.flush(0), 2);
+        assert!(mq.is_empty(0));
+        assert!(mq.peek(0).is_none());
+        // QP 1 untouched, and the freed slots are reusable.
+        assert_eq!(mq.len(1), 1);
+        assert_eq!(mq.free_slots(), 3);
+        assert!(mq.push(1, 0x400, 8));
+        assert!(mq.push(1, 0x500, 8));
+        assert!(mq.push(1, 0x600, 8));
+        assert_eq!(mq.free_slots(), 0);
+        // Drain QP 1 in order to prove list integrity after the flush.
+        for want in [0x300u64, 0x400, 0x500, 0x600] {
+            let (addr, done) = mq.consume(1, 8).unwrap();
+            assert_eq!(addr, want);
+            assert!(done);
+        }
+    }
+
+    #[test]
+    fn flush_on_empty_qp_is_a_noop() {
+        let mut mq = MultiQueue::new(2, 4);
+        assert_eq!(mq.flush(0), 0);
+        assert_eq!(mq.free_slots(), 4);
     }
 }

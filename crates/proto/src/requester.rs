@@ -118,6 +118,20 @@ pub struct PacketDescriptor {
     pub payload: PayloadSource,
 }
 
+/// How a work request finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompletionStatus {
+    /// Acknowledged end to end.
+    #[default]
+    Success,
+    /// The QP exhausted its retry budget and entered the error state;
+    /// the request may have partially executed on the remote side.
+    RetryExceeded,
+    /// The responder reported an unrecoverable error (NAK remote
+    /// operational error, e.g. no kernel matched an RPC, §5.1).
+    RemoteError,
+}
+
 /// A completed work request, reported back to the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
@@ -125,6 +139,24 @@ pub struct Completion {
     pub wr_id: u64,
     /// QP the request ran on.
     pub qpn: Qpn,
+    /// Outcome the host observes.
+    pub status: CompletionStatus,
+}
+
+impl Completion {
+    /// A successful completion.
+    pub fn success(wr_id: u64, qpn: Qpn) -> Self {
+        Completion {
+            wr_id,
+            qpn,
+            status: CompletionStatus::Success,
+        }
+    }
+
+    /// Whether the request succeeded.
+    pub fn is_success(&self) -> bool {
+        self.status == CompletionStatus::Success
+    }
 }
 
 /// Why a work request could not be posted.
@@ -137,6 +169,9 @@ pub enum PostError {
     /// RPC parameters exceed one MTU (the RDMA RPC verb is Only-sized,
     /// §5.1: "the payload size is at most one MTU").
     RpcParamsTooLarge,
+    /// The QP is in the error state (retry budget exhausted) and accepts
+    /// no further work until torn down and re-initialized.
+    QpInError,
 }
 
 impl std::fmt::Display for PostError {
@@ -145,6 +180,7 @@ impl std::fmt::Display for PostError {
             PostError::UnknownQp => write!(f, "queue pair not initialized"),
             PostError::MultiQueueFull => write!(f, "no free outstanding-read slots"),
             PostError::RpcParamsTooLarge => write!(f, "RPC parameters exceed one MTU"),
+            PostError::QpInError => write!(f, "queue pair is in the error state"),
         }
     }
 }
@@ -178,6 +214,9 @@ struct ReadTrack {
 struct QpRequester {
     outstanding: VecDeque<OutstandingMessage>,
     reads: VecDeque<ReadTrack>,
+    /// Terminal error state: the retry budget was exhausted. The QP
+    /// accepts no new work and never retransmits again.
+    errored: bool,
 }
 
 /// The requester FSM.
@@ -228,6 +267,9 @@ impl Requester {
     ) -> Result<(u64, Vec<PacketDescriptor>), PostError> {
         if state.get(qpn).is_none() || (qpn as usize) >= self.qps.len() {
             return Err(PostError::UnknownQp);
+        }
+        if self.qps[qpn as usize].errored {
+            return Err(PostError::QpInError);
         }
         let wr_id = self.next_wr_id;
         self.next_wr_id += 1;
@@ -421,12 +463,24 @@ impl Requester {
                 // Unrecoverable for this message: surface the completion so
                 // the host observes the error (error reporting is by value
                 // in host memory, §5.1).
-                (self.collect_acked(qpn, psn), Vec::new())
+                (
+                    self.collect_acked_with(qpn, psn, CompletionStatus::RemoteError),
+                    Vec::new(),
+                )
             }
         }
     }
 
     fn collect_acked(&mut self, qpn: Qpn, psn: Psn) -> Vec<Completion> {
+        self.collect_acked_with(qpn, psn, CompletionStatus::Success)
+    }
+
+    fn collect_acked_with(
+        &mut self,
+        qpn: Qpn,
+        psn: Psn,
+        status: CompletionStatus,
+    ) -> Vec<Completion> {
         let Some(qp) = self.qps.get_mut(qpn as usize) else {
             return Vec::new();
         };
@@ -445,6 +499,7 @@ impl Requester {
                     out.push(Completion {
                         wr_id: msg.wr_id,
                         qpn,
+                        status,
                     });
                 }
             } else {
@@ -478,10 +533,7 @@ impl Requester {
         if done {
             debug_assert_eq!(psn, track.last_resp_psn, "length/PSN bookkeeping agree");
             let track = qp.reads.pop_front().expect("front_mut succeeded");
-            completion = Some(Completion {
-                wr_id: track.wr_id,
-                qpn,
-            });
+            completion = Some(Completion::success(track.wr_id, qpn));
             // The final response also acknowledges the read request's PSN
             // range, releasing its retransmission record.
             state.ack_up_to(qpn, track.last_resp_psn);
@@ -493,6 +545,62 @@ impl Requester {
     /// Retransmits every outstanding packet of `qpn` (timer expiry).
     pub fn on_timeout(&mut self, qpn: Qpn) -> Vec<PacketDescriptor> {
         self.retransmit_from(qpn, 0xffff_ffff)
+    }
+
+    /// Whether `qpn` is in the terminal error state.
+    pub fn is_errored(&self, qpn: Qpn) -> bool {
+        self.qps
+            .get(qpn as usize)
+            .map(|q| q.errored)
+            .unwrap_or(false)
+    }
+
+    /// Number of QPs currently in the error state.
+    pub fn qps_in_error(&self) -> u64 {
+        self.qps.iter().filter(|q| q.errored).count() as u64
+    }
+
+    /// Transitions `qpn` to the terminal error state (retry budget
+    /// exhausted, IB `retry_cnt` semantics).
+    ///
+    /// Every in-flight work request — unacknowledged messages and
+    /// outstanding reads — completes with
+    /// [`CompletionStatus::RetryExceeded`] so the host never hangs waiting
+    /// on a wedged QP, and the QP's Multi-Queue slots return to the shared
+    /// pool. Subsequent posts fail with [`PostError::QpInError`].
+    pub fn fail_qp(&mut self, qpn: Qpn) -> Vec<Completion> {
+        let Some(qp) = self.qps.get_mut(qpn as usize) else {
+            return Vec::new();
+        };
+        qp.errored = true;
+        let mut out = Vec::new();
+        // Unacknowledged messages, in post order. Reads are skipped here —
+        // their completion is owned by the read-track queue below, so each
+        // wr_id surfaces exactly once.
+        for msg in qp.outstanding.drain(..) {
+            let is_read = msg
+                .packets
+                .first()
+                .map(|p| p.opcode == Opcode::ReadRequest)
+                .unwrap_or(false);
+            if !is_read {
+                out.push(Completion {
+                    wr_id: msg.wr_id,
+                    qpn,
+                    status: CompletionStatus::RetryExceeded,
+                });
+            }
+        }
+        for track in qp.reads.drain(..) {
+            out.push(Completion {
+                wr_id: track.wr_id,
+                qpn,
+                status: CompletionStatus::RetryExceeded,
+            });
+        }
+        self.multi_queue.flush(qpn);
+        out.sort_by_key(|c| c.wr_id);
+        out
     }
 
     /// Collects packets to retransmit: all packets of outstanding messages
@@ -558,7 +666,7 @@ mod tests {
         );
         assert!(r.has_outstanding(2));
         let (comps, retx) = r.on_ack(&mut st, 2, 0, ack(0));
-        assert_eq!(comps, vec![Completion { wr_id, qpn: 2 }]);
+        assert_eq!(comps, vec![Completion::success(wr_id, 2)]);
         assert!(retx.is_empty());
         assert!(!r.has_outstanding(2));
     }
@@ -622,7 +730,7 @@ mod tests {
         assert!(comp.is_none());
         let (addr, comp) = r.on_read_response(&mut st, 2, 2, &d2).unwrap();
         assert_eq!(addr, 0x100 + 2880);
-        assert_eq!(comp, Some(Completion { wr_id, qpn: 2 }));
+        assert_eq!(comp, Some(Completion::success(wr_id, 2)));
         assert!(!r.has_outstanding(2), "read ack'd its own PSN range");
     }
 
@@ -833,7 +941,7 @@ mod tests {
         assert_eq!(Bytes::from(rebuilt), data);
         // Completes on the final ACK like an ordinary write.
         let (comps, _) = r.on_ack(&mut st, 2, pkts[2].psn, ack(0));
-        assert_eq!(comps, vec![Completion { wr_id, qpn: 2 }]);
+        assert_eq!(comps, vec![Completion::success(wr_id, 2)]);
     }
 
     #[test]
@@ -878,9 +986,107 @@ mod tests {
                 msn: 0,
             },
         );
-        assert_eq!(comps, vec![Completion { wr_id, qpn: 2 }]);
+        assert_eq!(
+            comps,
+            vec![Completion {
+                wr_id,
+                qpn: 2,
+                status: CompletionStatus::RemoteError
+            }]
+        );
         assert!(retx.is_empty());
         assert!(!r.has_outstanding(2));
+    }
+
+    #[test]
+    fn fail_qp_completes_everything_with_retry_exceeded() {
+        let (mut st, mut r) = setup();
+        let (w1, _) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Write {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 3000,
+                },
+            )
+            .unwrap();
+        let (w2, _) = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Read {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 2000,
+                },
+            )
+            .unwrap();
+        let comps = r.fail_qp(2);
+        assert_eq!(comps.len(), 2, "one completion per wr, reads included");
+        assert_eq!(
+            comps.iter().map(|c| c.wr_id).collect::<Vec<_>>(),
+            vec![w1, w2]
+        );
+        assert!(comps
+            .iter()
+            .all(|c| c.status == CompletionStatus::RetryExceeded));
+        assert!(r.is_errored(2));
+        assert_eq!(r.qps_in_error(), 1);
+        assert!(!r.has_outstanding(2), "nothing left to retransmit");
+        assert!(r.on_timeout(2).is_empty());
+    }
+
+    #[test]
+    fn errored_qp_rejects_new_work() {
+        let (mut st, mut r) = setup();
+        r.fail_qp(2);
+        let err = r
+            .post(
+                &mut st,
+                2,
+                WorkRequest::Write {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 8,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, PostError::QpInError);
+    }
+
+    #[test]
+    fn fail_qp_releases_multi_queue_slots() {
+        // A wedged QP must not pin shared Multi-Queue capacity: other QPs
+        // reclaim the slots after the failure.
+        let mut st = StateTable::new(8);
+        st.init_qp(2, 0, 0);
+        st.init_qp(3, 0, 0);
+        let mut r = Requester::new(8, 2, 1440);
+        for _ in 0..2 {
+            r.post(
+                &mut st,
+                2,
+                WorkRequest::Read {
+                    remote_vaddr: 0,
+                    local_vaddr: 0,
+                    len: 8,
+                },
+            )
+            .unwrap();
+        }
+        let read = WorkRequest::Read {
+            remote_vaddr: 0,
+            local_vaddr: 0,
+            len: 8,
+        };
+        assert_eq!(
+            r.post(&mut st, 3, read.clone()).unwrap_err(),
+            PostError::MultiQueueFull
+        );
+        r.fail_qp(2);
+        assert!(r.post(&mut st, 3, read).is_ok());
     }
 
     #[test]

@@ -16,14 +16,26 @@
 use strom_wire::bth::Qpn;
 
 /// Per-QP retransmission timers over an opaque monotonic tick domain.
+///
+/// Consecutive expirations without progress back the timeout off
+/// exponentially: the n-th retry waits `timeout << min(n, cap)`. An ACK
+/// that advances the window ([`Self::note_progress`]) resets the backoff,
+/// and the attempt counter doubles as the retry budget the NIC checks
+/// against its `max_retries` configuration.
 #[derive(Debug, Clone)]
 pub struct RetransmissionTimer {
     /// `None` = inactive; `Some(deadline)` = armed.
     deadlines: Vec<Option<u64>>,
+    /// Consecutive expirations per QP since the last forward progress.
+    attempts: Vec<u32>,
     /// The retransmission timeout added to "now" when arming.
     timeout: u64,
+    /// Cap on the backoff shift, bounding the longest retry interval.
+    backoff_cap: u32,
     /// Total number of expirations observed (diagnostics).
     expirations: u64,
+    /// Expirations that re-armed with a backed-off (doubled+) timeout.
+    backoff_events: u64,
 }
 
 impl RetransmissionTimer {
@@ -37,22 +49,52 @@ impl RetransmissionTimer {
         assert!(timeout > 0, "retransmission timeout must be positive");
         Self {
             deadlines: vec![None; num_qps],
+            attempts: vec![0; num_qps],
             timeout,
+            backoff_cap: 6,
             expirations: 0,
+            backoff_events: 0,
         }
     }
 
-    /// The configured timeout.
+    /// Sets the cap on the exponential-backoff shift (builder style).
+    pub fn with_backoff_cap(mut self, cap: u32) -> Self {
+        // A shift ≥ 64 would overflow; anything near it is already an
+        // absurd multiplier for a timeout.
+        self.backoff_cap = cap.min(32);
+        self
+    }
+
+    /// The configured (base, un-backed-off) timeout.
     pub fn timeout(&self) -> u64 {
         self.timeout
     }
 
-    /// Arms (or re-arms) the timer for `qpn` at `now + timeout`.
+    /// The current timeout for `qpn`, including backoff.
+    pub fn current_timeout(&self, qpn: Qpn) -> u64 {
+        let shift = self
+            .attempts
+            .get(qpn as usize)
+            .map(|&a| a.min(self.backoff_cap))
+            .unwrap_or(0);
+        self.timeout << shift
+    }
+
+    /// Arms (or re-arms) the timer for `qpn` at `now` plus the current
+    /// (possibly backed-off) timeout.
     ///
-    /// Called when a request packet is transmitted.
+    /// Called when a request packet is transmitted. An out-of-range QPN
+    /// is a caller bug — the timer array is sized to the QP table — so it
+    /// trips a debug assertion; release builds ignore the call.
     pub fn arm(&mut self, qpn: Qpn, now: u64) {
+        debug_assert!(
+            (qpn as usize) < self.deadlines.len(),
+            "qpn {qpn} out of range: timer array holds {} QPs",
+            self.deadlines.len()
+        );
+        let deadline = now + self.current_timeout(qpn);
         if let Some(slot) = self.deadlines.get_mut(qpn as usize) {
-            *slot = Some(now + self.timeout);
+            *slot = Some(deadline);
         }
     }
 
@@ -82,6 +124,9 @@ impl RetransmissionTimer {
 
     /// Collects every QP whose deadline has passed at `now`, disarming
     /// each (the requester re-arms when it retransmits).
+    ///
+    /// Each expiration bumps the QP's attempt counter, so the next
+    /// [`Self::arm`] waits longer.
     pub fn expired(&mut self, now: u64) -> Vec<Qpn> {
         let mut out = Vec::new();
         for (qpn, slot) in self.deadlines.iter_mut().enumerate() {
@@ -89,6 +134,10 @@ impl RetransmissionTimer {
                 if deadline <= now {
                     *slot = None;
                     self.expirations += 1;
+                    if self.attempts[qpn] > 0 {
+                        self.backoff_events += 1;
+                    }
+                    self.attempts[qpn] = self.attempts[qpn].saturating_add(1);
                     out.push(qpn as Qpn);
                 }
             }
@@ -96,9 +145,28 @@ impl RetransmissionTimer {
         out
     }
 
+    /// Consecutive expirations for `qpn` since its last forward progress —
+    /// the value the NIC compares against its retry budget.
+    pub fn attempts(&self, qpn: Qpn) -> u32 {
+        self.attempts.get(qpn as usize).copied().unwrap_or(0)
+    }
+
+    /// Records forward progress on `qpn` (the ACK window moved): resets
+    /// the backoff and the retry budget.
+    pub fn note_progress(&mut self, qpn: Qpn) {
+        if let Some(a) = self.attempts.get_mut(qpn as usize) {
+            *a = 0;
+        }
+    }
+
     /// Total expirations observed since construction.
     pub fn expirations(&self) -> u64 {
         self.expirations
+    }
+
+    /// Expirations that re-armed with a backed-off (≥ doubled) timeout.
+    pub fn backoff_events(&self) -> u64 {
+        self.backoff_events
     }
 }
 
@@ -156,7 +224,10 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_qpn_is_ignored() {
+    #[cfg_attr(debug_assertions, should_panic(expected = "out of range"))]
+    fn out_of_range_qpn_is_a_debug_assertion() {
+        // Arming a QPN outside the table is a caller bug: loud in debug
+        // builds, ignored (not UB, not a panic) in release builds.
         let mut t = RetransmissionTimer::new(2, 10);
         t.arm(9, 0);
         assert!(!t.is_armed(9));
@@ -167,5 +238,41 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_timeout_panics() {
         let _ = RetransmissionTimer::new(1, 0);
+    }
+
+    #[test]
+    fn consecutive_expirations_back_off_exponentially() {
+        let mut t = RetransmissionTimer::new(2, 10).with_backoff_cap(3);
+        let mut now = 0u64;
+        // Expected per-attempt timeouts: 10, 20, 40, 80, then capped at 80.
+        for want in [10u64, 20, 40, 80, 80, 80] {
+            t.arm(0, now);
+            assert!(t.expired(now + want - 1).is_empty(), "want {want}");
+            now += want;
+            assert_eq!(t.expired(now), vec![0]);
+        }
+        assert_eq!(t.attempts(0), 6);
+        // First expiration is not a backoff event; the rest are.
+        assert_eq!(t.backoff_events(), 5);
+    }
+
+    #[test]
+    fn progress_resets_backoff() {
+        let mut t = RetransmissionTimer::new(2, 10);
+        t.arm(0, 0);
+        assert_eq!(t.expired(10), vec![0]);
+        assert_eq!(t.current_timeout(0), 20);
+        t.note_progress(0);
+        assert_eq!(t.attempts(0), 0);
+        assert_eq!(t.current_timeout(0), 10);
+    }
+
+    #[test]
+    fn backoff_is_per_qp() {
+        let mut t = RetransmissionTimer::new(2, 10);
+        t.arm(0, 0);
+        assert_eq!(t.expired(10), vec![0]);
+        assert_eq!(t.current_timeout(0), 20);
+        assert_eq!(t.current_timeout(1), 10, "QP 1 untouched");
     }
 }

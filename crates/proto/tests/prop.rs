@@ -1,62 +1,77 @@
-//! Property-based tests of the protocol state machines.
+//! Randomized tests of the protocol state machines, driven by the
+//! deterministic [`SimRng`] with fixed seeds.
 
 use bytes::Bytes;
-use proptest::prelude::*;
+use strom_sim::SimRng;
 
 use strom_proto::psn::{classify, psn_add, PsnClass};
 use strom_proto::{MultiQueue, Requester, Responder, ResponderAction, StateTable, WorkRequest};
 use strom_wire::bth::{Aeth, AethSyndrome, MASK_24};
 use strom_wire::packet::Packet;
 
-proptest! {
-    /// Valid/duplicate/invalid partition the PSN space: every PSN falls
-    /// into exactly one class, and exactly one PSN is Valid.
-    #[test]
-    fn psn_classes_partition_the_space(epsn in 0u32..=MASK_24, probe in 0u32..=MASK_24) {
-        let class = classify(probe, epsn);
-        match class {
-            PsnClass::Valid => prop_assert_eq!(probe, epsn),
+/// Valid/duplicate/invalid partition the PSN space: every PSN falls into
+/// exactly one class, and exactly one PSN is Valid.
+#[test]
+fn psn_classes_partition_the_space() {
+    let mut rng = SimRng::seed(0x95);
+    for _ in 0..2000 {
+        let epsn = rng.below(1 << 24) as u32;
+        let probe = rng.below(1 << 24) as u32;
+        match classify(probe, epsn) {
+            PsnClass::Valid => assert_eq!(probe, epsn),
             PsnClass::Duplicate => {
                 // Behind: adding the forward distance gets back to epsn.
                 let dist = epsn.wrapping_sub(probe) & MASK_24;
-                prop_assert!(dist > 0 && dist < (1 << 23) || dist == 0 && probe == epsn);
-                prop_assert_eq!(psn_add(probe, dist), epsn);
+                assert!(dist > 0 && dist < (1 << 23) || dist == 0 && probe == epsn);
+                assert_eq!(psn_add(probe, dist), epsn);
             }
             PsnClass::Invalid => {
                 let dist = probe.wrapping_sub(epsn) & MASK_24;
-                prop_assert!(dist > 0 && dist <= (1 << 23));
+                assert!(dist > 0 && dist <= (1 << 23));
             }
         }
     }
+}
 
-    /// psn_add is associative with respect to splitting the delta.
-    #[test]
-    fn psn_add_splits(base in 0u32..=MASK_24, a in 0u32..=MASK_24, b in 0u32..=MASK_24) {
+/// psn_add is associative with respect to splitting the delta.
+#[test]
+fn psn_add_splits() {
+    let mut rng = SimRng::seed(0xadd);
+    for _ in 0..2000 {
+        let base = rng.below(1 << 24) as u32;
+        let a = rng.below(1 << 24) as u32;
+        let b = rng.below(1 << 24) as u32;
         let whole = psn_add(base, a.wrapping_add(b) & MASK_24);
         let split = psn_add(psn_add(base, a), b);
-        prop_assert_eq!(whole, split);
+        assert_eq!(whole, split);
     }
+}
 
-    /// The Multi-Queue behaves exactly like a vector-of-queues model
-    /// under an arbitrary operation sequence.
-    #[test]
-    fn multi_queue_matches_model(ops in prop::collection::vec((0u32..4, 0u32..4u32, 1u32..100), 1..200)) {
+/// The Multi-Queue behaves exactly like a vector-of-queues model under
+/// an arbitrary operation sequence.
+#[test]
+fn multi_queue_matches_model() {
+    let mut rng = SimRng::seed(0x309);
+    for _ in 0..100 {
         let mut mq = MultiQueue::new(4, 16);
         let mut model: Vec<std::collections::VecDeque<(u64, u32)>> =
             vec![std::collections::VecDeque::new(); 4];
         let mut in_use = 0usize;
-        for (op, qpn, arg) in ops {
+        for _ in 0..rng.range(1, 200) {
+            let op = rng.below(4) as u32;
+            let qpn = rng.below(4) as u32;
+            let arg = rng.range(1, 100) as u32;
             match op {
                 // Push.
                 0 | 1 => {
                     let ptr = u64::from(arg) * 1000;
                     let ok = mq.push(qpn, ptr, arg);
                     if in_use < 16 {
-                        prop_assert!(ok);
+                        assert!(ok);
                         model[qpn as usize].push_back((ptr, arg));
                         in_use += 1;
                     } else {
-                        prop_assert!(!ok, "model expected a full queue");
+                        assert!(!ok, "model expected a full queue");
                     }
                 }
                 // Consume some bytes.
@@ -66,35 +81,37 @@ proptest! {
                     match (got, front) {
                         (None, None) => {}
                         (Some((addr, done)), Some(entry)) => {
-                            prop_assert_eq!(addr, entry.0);
+                            assert_eq!(addr, entry.0);
                             let consumed = arg.min(entry.1);
                             entry.0 += u64::from(consumed);
                             entry.1 -= consumed;
                             if entry.1 == 0 {
-                                prop_assert!(done);
+                                assert!(done);
                                 model[qpn as usize].pop_front();
                                 in_use -= 1;
                             } else {
-                                prop_assert!(!done);
+                                assert!(!done);
                             }
                         }
-                        (got, front) => {
-                            return Err(TestCaseError::fail(format!(
-                                "divergence: {got:?} vs {front:?}"
-                            )));
-                        }
+                        (got, front) => panic!("divergence: {got:?} vs {front:?}"),
                     }
                 }
             }
-            prop_assert_eq!(mq.free_slots() as usize, 16 - in_use);
+            assert_eq!(mq.free_slots() as usize, 16 - in_use);
         }
     }
+}
 
-    /// A requester/responder conversation over a perfect wire delivers
-    /// every write exactly once and completes every request, for an
-    /// arbitrary mix of write sizes.
-    #[test]
-    fn lockstep_conversation_completes(sizes in prop::collection::vec(1u32..6000, 1..20)) {
+/// A requester/responder conversation over a perfect wire delivers every
+/// write exactly once and completes every request, for an arbitrary mix
+/// of write sizes.
+#[test]
+fn lockstep_conversation_completes() {
+    let mut rng = SimRng::seed(0x10c);
+    for _ in 0..50 {
+        let sizes: Vec<u32> = (0..rng.range(1, 20))
+            .map(|_| rng.range(1, 6000) as u32)
+            .collect();
         let mut client_state = StateTable::new(4);
         let mut server_state = StateTable::new(4);
         client_state.init_qp(1, 0, 0);
@@ -107,16 +124,29 @@ proptest! {
         for (i, &len) in sizes.iter().enumerate() {
             let remote = 0x10_000 * (i as u64 + 1);
             let (_, pkts) = requester
-                .post(&mut client_state, 1, WorkRequest::Write {
-                    remote_vaddr: remote,
-                    local_vaddr: 0,
-                    len,
-                })
+                .post(
+                    &mut client_state,
+                    1,
+                    WorkRequest::Write {
+                        remote_vaddr: remote,
+                        local_vaddr: 0,
+                        len,
+                    },
+                )
                 .expect("post");
             for desc in pkts {
                 // Materialize the packet as the NIC would.
                 let payload = Bytes::from(vec![0xaau8; desc.payload.len() as usize]);
-                let pkt = Packet::new(0, 1, desc.opcode, desc.qpn, desc.psn, desc.reth, None, payload);
+                let pkt = Packet::new(
+                    0,
+                    1,
+                    desc.opcode,
+                    desc.qpn,
+                    desc.psn,
+                    desc.reth,
+                    None,
+                    payload,
+                );
                 for action in responder.on_packet(&mut server_state, &pkt) {
                     match action {
                         ResponderAction::WritePayload { vaddr, data } => {
@@ -128,39 +158,44 @@ proptest! {
                                 &mut client_state,
                                 qpn,
                                 psn,
-                                Aeth { syndrome: AethSyndrome::Ack, msn: 0 },
+                                Aeth {
+                                    syndrome: AethSyndrome::Ack,
+                                    msn: 0,
+                                },
                             );
-                            prop_assert!(retx.is_empty(), "no loss, no retransmit");
+                            assert!(retx.is_empty(), "no loss, no retransmit");
                             completions += comps.len();
                         }
-                        other => {
-                            return Err(TestCaseError::fail(format!("unexpected {other:?}")));
-                        }
+                        other => panic!("unexpected {other:?}"),
                     }
                 }
             }
         }
-        prop_assert_eq!(completions, sizes.len());
+        assert_eq!(completions, sizes.len());
         // Each message's payload bytes were delivered contiguously from
         // its base address.
         let mut by_msg: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
         for (vaddr, len) in &delivered {
             let base = vaddr & !0xffff;
             let cursor = by_msg.entry(base).or_insert(base);
-            prop_assert_eq!(*vaddr, *cursor, "contiguous placement");
+            assert_eq!(*vaddr, *cursor, "contiguous placement");
             *cursor += *len as u64;
         }
         for (i, &len) in sizes.iter().enumerate() {
             let base = 0x10_000 * (i as u64 + 1);
-            prop_assert_eq!(by_msg[&base], base + u64::from(len));
+            assert_eq!(by_msg[&base], base + u64::from(len));
         }
     }
+}
 
-    /// Go-back-N under arbitrary single-packet drops still delivers every
-    /// message: drop one chosen packet on first transmission, let the NAK
-    /// or duplicate path recover.
-    #[test]
-    fn single_drop_recovers(len in 1500u32..20_000, drop_idx in any::<prop::sample::Index>()) {
+/// Go-back-N under arbitrary single-packet drops still delivers every
+/// message: drop one chosen packet on first transmission, let the NAK
+/// or duplicate path recover.
+#[test]
+fn single_drop_recovers() {
+    let mut rng = SimRng::seed(0xd70);
+    for _ in 0..100 {
+        let len = rng.range(1500, 20_000) as u32;
         let mut client_state = StateTable::new(2);
         let mut server_state = StateTable::new(2);
         client_state.init_qp(1, 0, 0);
@@ -169,13 +204,17 @@ proptest! {
         let mut responder = Responder::new(2, 1440);
 
         let (_, pkts) = requester
-            .post(&mut client_state, 1, WorkRequest::Write {
-                remote_vaddr: 0x8000,
-                local_vaddr: 0,
-                len,
-            })
+            .post(
+                &mut client_state,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: 0x8000,
+                    local_vaddr: 0,
+                    len,
+                },
+            )
             .expect("post");
-        let dropped = drop_idx.index(pkts.len());
+        let dropped = rng.below(pkts.len() as u64) as usize;
         let mut delivered = 0u64;
         let mut completed = false;
 
@@ -194,12 +233,12 @@ proptest! {
                 // arrives after the gap): the retransmission timer is the
                 // only recovery path, exactly as in the real protocol.
                 timeouts += 1;
-                prop_assert!(timeouts <= 2, "timer should recover in one shot");
+                assert!(timeouts <= 2, "timer should recover in one shot");
                 wire.extend(requester.on_timeout(1));
                 continue;
             };
             guard += 1;
-            prop_assert!(guard < 10_000, "conversation did not converge");
+            assert!(guard < 10_000, "conversation did not converge");
             // Drop exactly one packet, on its first transmission.
             if first_pass_counter == dropped {
                 first_pass_counter += 1;
@@ -209,7 +248,16 @@ proptest! {
                 first_pass_counter += 1;
             }
             let payload = Bytes::from(vec![0u8; desc.payload.len() as usize]);
-            let pkt = Packet::new(0, 1, desc.opcode, desc.qpn, desc.psn, desc.reth, None, payload);
+            let pkt = Packet::new(
+                0,
+                1,
+                desc.opcode,
+                desc.qpn,
+                desc.psn,
+                desc.reth,
+                None,
+                payload,
+            );
             for action in responder.on_packet(&mut server_state, &pkt) {
                 match action {
                     ResponderAction::WritePayload { data, .. } => delivered += data.len() as u64,
@@ -218,7 +266,10 @@ proptest! {
                             &mut client_state,
                             1,
                             psn,
-                            Aeth { syndrome: AethSyndrome::Ack, msn: 0 },
+                            Aeth {
+                                syndrome: AethSyndrome::Ack,
+                                msn: 0,
+                            },
                         );
                         completed |= !comps.is_empty();
                         wire.extend(retx);
@@ -228,18 +279,22 @@ proptest! {
                             &mut client_state,
                             1,
                             psn,
-                            Aeth { syndrome: AethSyndrome::NakSequenceError, msn: 0 },
+                            Aeth {
+                                syndrome: AethSyndrome::NakSequenceError,
+                                msn: 0,
+                            },
                         );
                         wire.extend(retx);
                     }
                     ResponderAction::DroppedDuplicate | ResponderAction::DroppedInvalid => {}
-                    other => {
-                        return Err(TestCaseError::fail(format!("unexpected {other:?}")));
-                    }
+                    other => panic!("unexpected {other:?}"),
                 }
             }
         }
-        prop_assert!(completed, "message must complete despite the drop");
-        prop_assert!(delivered >= u64::from(len), "every byte delivered at least once");
+        assert!(completed, "message must complete despite the drop");
+        assert!(
+            delivered >= u64::from(len),
+            "every byte delivered at least once"
+        );
     }
 }

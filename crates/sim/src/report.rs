@@ -46,6 +46,9 @@ pub struct Figure {
     pub y_unit: String,
     /// The data series.
     pub series: Vec<Series>,
+    /// Free-form footnotes rendered under the table (e.g. the fault and
+    /// recovery counters observed while the series were measured).
+    pub notes: Vec<String>,
 }
 
 impl Figure {
@@ -62,12 +65,19 @@ impl Figure {
             x_ticks,
             y_unit: y_unit.into(),
             series: Vec::new(),
+            notes: Vec::new(),
         }
     }
 
     /// Adds a series and returns `self` for chaining.
     pub fn push_series(mut self, series: Series) -> Self {
         self.series.push(series);
+        self
+    }
+
+    /// Adds a footnote line rendered under the table.
+    pub fn push_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
         self
     }
 
@@ -122,6 +132,9 @@ impl Figure {
             }
             out.push('\n');
         }
+        for note in &self.notes {
+            let _ = writeln!(out, "  {note}");
+        }
         out
     }
 }
@@ -168,6 +181,17 @@ mod tests {
         assert!(text.contains("write"));
         assert!(text.contains("1.500"));
         assert!(text.contains('-'), "gap must render as a dash");
+    }
+
+    #[test]
+    fn figure_renders_notes_after_the_table() {
+        let fig = Figure::new("Fig Y", "x", vec!["1".into()], "us")
+            .push_series(Series::new("s", vec![1.0]))
+            .push_note("retransmissions=3 timeouts=1");
+        let text = fig.render();
+        let table_pos = text.find("1.000").unwrap();
+        let note_pos = text.find("retransmissions=3").unwrap();
+        assert!(note_pos > table_pos, "notes must follow the series");
     }
 
     #[test]

@@ -1,13 +1,11 @@
 //! Deterministic random-number generation for workloads and fault injection.
 //!
-//! All randomness in the simulator flows through [`SimRng`], a thin wrapper
-//! over a seeded PCG-family generator, so that every experiment is exactly
-//! reproducible from its seed.
+//! All randomness in the simulator flows through [`SimRng`], a
+//! self-contained xoshiro256++ generator (seeded through splitmix64), so
+//! that every experiment is exactly reproducible from its seed and the
+//! simulator carries no external RNG dependency.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// A seeded simulation RNG.
+/// A seeded simulation RNG (xoshiro256++).
 ///
 /// # Examples
 ///
@@ -19,20 +17,44 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// The splitmix64 step, used to expand a 64-bit seed into xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut s = seed;
         Self {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
     /// Draws a uniformly distributed `u64`.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Draws a uniform integer in `[0, bound)`.
@@ -42,7 +64,19 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's nearly-divisionless unbiased bounded draw.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Draws a uniform integer in `[lo, hi)`.
@@ -52,7 +86,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -63,30 +97,39 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen_bool(p)
+        self.unit() < p
     }
 
     /// Draws a uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fills `buf` with random bytes.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        let mut chunks = buf.chunks_exact_mut(8);
+        for c in &mut chunks {
+            c.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&w[..rest.len()]);
+        }
     }
 
     /// Draws from an exponential distribution with the given mean
     /// (used for randomized think times).
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.unit().max(f64::EPSILON);
         -mean * u.ln()
     }
 
     /// Permutes `slice` uniformly at random (Fisher-Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -122,6 +165,25 @@ mod tests {
     }
 
     #[test]
+    fn below_covers_the_range() {
+        let mut rng = SimRng::seed(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = SimRng::seed(17);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut rng = SimRng::seed(5);
         assert!(!rng.chance(0.0));
@@ -129,6 +191,18 @@ mod tests {
         // p = 0.5 should be roughly balanced.
         let hits = (0..10_000).filter(|_| rng.chance(0.5)).count();
         assert!((4_000..6_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_tails() {
+        let mut rng = SimRng::seed(8);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} all zero");
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,15 @@
-//! Property-based tests of the simulation engine.
-
-use proptest::prelude::*;
+//! Randomized tests of the simulation engine, driven by the
+//! deterministic [`SimRng`] with fixed seeds.
 
 use strom_sim::{Bandwidth, EventQueue, Fifo, LinkSerializer, Samples, SimRng};
 
-proptest! {
-    /// Events pop in non-decreasing time order regardless of insertion
-    /// order, and ties preserve insertion order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+/// Events pop in non-decreasing time order regardless of insertion
+/// order, and ties preserve insertion order.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    let mut rng = SimRng::seed(0xe0);
+    for _ in 0..100 {
+        let times: Vec<u64> = (0..rng.range(1, 200)).map(|_| rng.below(1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(t, i);
@@ -16,100 +17,121 @@ proptest! {
         let mut last: Option<(u64, usize)> = None;
         while let Some(s) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(s.at >= lt);
+                assert!(s.at >= lt);
                 if s.at == lt {
                     // Same-time events preserve insertion (seq) order,
                     // which for our insertion loop equals index order.
-                    prop_assert!(s.event > li);
+                    assert!(s.event > li);
                 }
             }
             last = Some((s.at, s.event));
         }
-        prop_assert_eq!(q.processed(), times.len() as u64);
+        assert_eq!(q.processed(), times.len() as u64);
     }
+}
 
-    /// The clock never runs backwards, even with past-time scheduling and
-    /// `advance_to`.
-    #[test]
-    fn clock_is_monotone(ops in prop::collection::vec((0u64..1000, any::<bool>()), 1..200)) {
+/// The clock never runs backwards, even with past-time scheduling and
+/// `advance_to`.
+#[test]
+fn clock_is_monotone() {
+    let mut rng = SimRng::seed(0xc10c);
+    for _ in 0..100 {
         let mut q: EventQueue<u32> = EventQueue::new();
         let mut last_now = 0;
-        for (t, advance) in ops {
-            if advance {
+        for _ in 0..rng.range(1, 200) {
+            let t = rng.below(1000);
+            if rng.chance(0.5) {
                 q.advance_to(t);
             } else {
                 q.schedule_at(t, 0);
                 q.pop();
             }
-            prop_assert!(q.now() >= last_now);
+            assert!(q.now() >= last_now);
             last_now = q.now();
         }
     }
+}
 
-    /// A link serializer never overlaps transmissions and preserves
-    /// submission order.
-    #[test]
-    fn serializer_never_overlaps(jobs in prop::collection::vec((0u64..10_000, 1u64..5000), 1..100)) {
+/// A link serializer never overlaps transmissions and preserves
+/// submission order.
+#[test]
+fn serializer_never_overlaps() {
+    let mut rng = SimRng::seed(0x5e7);
+    for _ in 0..100 {
         let mut link = LinkSerializer::new(Bandwidth::gbit_per_sec(10.0));
         let mut prev_end = 0;
         let mut clock = 0;
-        for (gap, bytes) in jobs {
+        for _ in 0..rng.range(1, 100) {
+            let gap = rng.below(10_000);
+            let bytes = rng.range(1, 5000);
             clock += gap;
             let (start, end) = link.admit(clock, bytes);
-            prop_assert!(start >= prev_end, "transmissions overlap");
-            prop_assert!(start >= clock);
-            prop_assert!(end > start);
+            assert!(start >= prev_end, "transmissions overlap");
+            assert!(start >= clock);
+            assert!(end > start);
             prev_end = end;
         }
     }
+}
 
-    /// FIFO order and capacity under arbitrary push/pop sequences,
-    /// checked against a VecDeque model.
-    #[test]
-    fn fifo_matches_model(ops in prop::collection::vec(any::<Option<u16>>(), 1..300)) {
+/// FIFO order and capacity under arbitrary push/pop sequences, checked
+/// against a VecDeque model.
+#[test]
+fn fifo_matches_model() {
+    let mut rng = SimRng::seed(0xf1f0);
+    for _ in 0..100 {
         let mut fifo = Fifo::new(8);
         let mut model = std::collections::VecDeque::new();
-        for op in ops {
-            match op {
-                Some(v) => {
-                    let ours = fifo.push(v);
-                    if model.len() < 8 {
-                        prop_assert!(ours.is_ok());
-                        model.push_back(v);
-                    } else {
-                        prop_assert_eq!(ours, Err(v));
-                    }
+        for _ in 0..rng.range(1, 300) {
+            if rng.chance(0.5) {
+                let v = rng.next_u64() as u16;
+                let ours = fifo.push(v);
+                if model.len() < 8 {
+                    assert!(ours.is_ok());
+                    model.push_back(v);
+                } else {
+                    assert_eq!(ours, Err(v));
                 }
-                None => {
-                    prop_assert_eq!(fifo.pop(), model.pop_front());
-                }
+            } else {
+                assert_eq!(fifo.pop(), model.pop_front());
             }
-            prop_assert_eq!(fifo.len(), model.len());
+            assert_eq!(fifo.len(), model.len());
         }
     }
+}
 
-    /// Quantiles are order statistics: the q-quantile is ≥ a fraction q
-    /// of the samples (nearest-rank definition).
-    #[test]
-    fn quantiles_are_order_statistics(values in prop::collection::vec(any::<u32>(), 1..200), q in 0.0f64..=1.0) {
+/// Quantiles are order statistics: the q-quantile is ≥ a fraction q of
+/// the samples (nearest-rank definition).
+#[test]
+fn quantiles_are_order_statistics() {
+    let mut rng = SimRng::seed(0x9a7);
+    for _ in 0..200 {
+        let values: Vec<u32> = (0..rng.range(1, 200))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
+        let q = rng.unit();
         let mut s = Samples::new();
         for &v in &values {
             s.record(u64::from(v));
         }
         let quantile = s.quantile(q).unwrap();
         let below = values.iter().filter(|&&v| u64::from(v) <= quantile).count();
-        prop_assert!(below as f64 >= (q * values.len() as f64).floor());
-        prop_assert!(values.iter().any(|&v| u64::from(v) == quantile));
+        assert!(below as f64 >= (q * values.len() as f64).floor());
+        assert!(values.iter().any(|&v| u64::from(v) == quantile));
     }
+}
 
-    /// Same seed → identical stream; used by every determinism guarantee
-    /// in the testbed.
-    #[test]
-    fn rng_is_deterministic(seed in any::<u64>()) {
+/// Same seed → identical stream; used by every determinism guarantee in
+/// the testbed.
+#[test]
+fn rng_is_deterministic() {
+    let mut seeds = SimRng::seed(0xde7);
+    for _ in 0..100 {
+        let seed = seeds.next_u64();
         let mut a = SimRng::seed(seed);
         let mut b = SimRng::seed(seed);
         for _ in 0..50 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 }

@@ -1,7 +1,8 @@
-//! Property-based tests of the wire codecs.
+//! Randomized tests of the wire codecs, driven by the deterministic
+//! [`SimRng`] (fixed seeds, so every run explores the same cases).
 
 use bytes::Bytes;
-use proptest::prelude::*;
+use strom_sim::SimRng;
 
 use strom_wire::bth::{Aeth, AethSyndrome, Bth, Reth};
 use strom_wire::opcode::Opcode;
@@ -9,100 +10,101 @@ use strom_wire::packet::Packet;
 use strom_wire::segment::{segment_message, SegmentKind};
 use strom_wire::{ipv4, max_payload};
 
-fn arb_opcode() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(Opcode::ALL.to_vec())
+fn rand_packet(rng: &mut SimRng) -> Packet {
+    let op = Opcode::ALL[rng.below(Opcode::ALL.len() as u64) as usize];
+    let qpn = rng.below(1 << 24) as u32;
+    let psn = rng.below(1 << 24) as u32;
+    let payload = if op.has_payload() {
+        let mut buf = vec![0u8; rng.below(256) as usize];
+        rng.fill_bytes(&mut buf);
+        Bytes::from(buf)
+    } else {
+        Bytes::new()
+    };
+    let reth = op.has_reth().then(|| Reth {
+        vaddr: rng.next_u64(),
+        rkey: rng.next_u64() as u32,
+        dma_len: rng.below(4097) as u32,
+    });
+    let aeth = op.has_aeth().then_some(Aeth {
+        syndrome: AethSyndrome::Ack,
+        msn: psn & 0xff_ffff,
+    });
+    Packet::new(1, 2, op, qpn, psn, reth, aeth, payload)
 }
 
-fn arb_packet() -> impl Strategy<Value = Packet> {
-    (
-        arb_opcode(),
-        0u32..=0xff_ffff,
-        0u32..=0xff_ffff,
-        any::<u64>(),
-        any::<u32>(),
-        0u32..=4096,
-        prop::collection::vec(any::<u8>(), 0..256),
-    )
-        .prop_map(|(op, qpn, psn, vaddr, rkey, dma_len, payload)| {
-            let payload = if op.has_payload() {
-                Bytes::from(payload)
-            } else {
-                Bytes::new()
-            };
-            let reth = op.has_reth().then_some(Reth {
-                vaddr,
-                rkey,
-                dma_len,
-            });
-            let aeth = op.has_aeth().then_some(Aeth {
-                syndrome: AethSyndrome::Ack,
-                msn: psn & 0xff_ffff,
-            });
-            Packet::new(1, 2, op, qpn, psn, reth, aeth, payload)
-        })
-}
-
-proptest! {
-    /// Encoding then parsing any packet is the identity.
-    #[test]
-    fn packet_round_trip(pkt in arb_packet()) {
+/// Encoding then parsing any packet is the identity.
+#[test]
+fn packet_round_trip() {
+    let mut rng = SimRng::seed(0x77_17);
+    for _ in 0..300 {
+        let pkt = rand_packet(&mut rng);
         let parsed = Packet::parse(&pkt.encode()).expect("own encoding parses");
-        prop_assert_eq!(parsed, pkt);
+        assert_eq!(parsed, pkt);
     }
+}
 
-    /// Any single-bit flip anywhere in the frame is rejected somewhere in
-    /// the pipeline (ICRC, IP checksum, or a header check) — or, if it
-    /// lands in the Ethernet MACs (unprotected in our byte encoding, FCS
-    /// is accounted in timing only), parsing still never panics.
-    #[test]
-    fn bit_flips_never_panic_and_rarely_pass(
-        pkt in arb_packet(),
-        byte_idx in any::<prop::sample::Index>(),
-        bit in 0u8..8,
-    ) {
+/// Any single-bit flip anywhere in the frame is rejected somewhere in
+/// the pipeline (ICRC, IP checksum, or a header check) — or, if it
+/// lands in the Ethernet MACs (unprotected in our byte encoding, FCS
+/// is accounted in timing only), parsing still never panics.
+#[test]
+fn bit_flips_never_panic_and_rarely_pass() {
+    let mut rng = SimRng::seed(0xf11b);
+    for _ in 0..1000 {
+        let pkt = rand_packet(&mut rng);
         let mut frame = pkt.encode();
-        let i = byte_idx.index(frame.len());
+        let i = rng.below(frame.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
         frame[i] ^= 1 << bit;
         // Genuinely unprotected bytes (as in real RoCE v2): the Ethernet
         // MACs (their FCS is modeled in timing only), the UDP source port
         // (a *variable* field the ICRC masks out), and the UDP checksum
         // (zero by RoCE convention, not validated).
-        let unprotected =
-            i < 12 || (34..36).contains(&i) || (40..42).contains(&i);
+        let unprotected = i < 12 || (34..36).contains(&i) || (40..42).contains(&i);
         if Packet::parse(&frame).is_ok() {
-            prop_assert!(unprotected, "flip at byte {i} passed");
+            assert!(unprotected, "flip at byte {i} passed");
         }
     }
+}
 
-    /// Truncated frames never panic and never parse.
-    #[test]
-    fn truncation_is_rejected(pkt in arb_packet(), cut in any::<prop::sample::Index>()) {
+/// Truncated frames never panic and never parse.
+#[test]
+fn truncation_is_rejected() {
+    let mut rng = SimRng::seed(0x7277);
+    for _ in 0..300 {
+        let pkt = rand_packet(&mut rng);
         let frame = pkt.encode();
-        let keep = cut.index(frame.len());
-        prop_assert!(Packet::parse(&frame[..keep]).is_err());
+        let keep = rng.below(frame.len() as u64) as usize;
+        assert!(Packet::parse(&frame[..keep]).is_err());
     }
+}
 
-    /// Segmentation tiles the message exactly, respects the budget, and
-    /// classifies First/Middle/Last/Only correctly.
-    #[test]
-    fn segmentation_invariants(total in 0usize..100_000, budget in 1usize..4096) {
+/// Segmentation tiles the message exactly, respects the budget, and
+/// classifies First/Middle/Last/Only correctly.
+#[test]
+fn segmentation_invariants() {
+    let mut rng = SimRng::seed(0x5e6);
+    for _ in 0..300 {
+        let total = rng.below(100_000) as usize;
+        let budget = rng.range(1, 4096) as usize;
         let segs = segment_message(total, budget);
         // Tiling.
         let mut offset = 0;
         for s in &segs {
-            prop_assert_eq!(s.offset, offset);
-            prop_assert!(s.len <= budget);
+            assert_eq!(s.offset, offset);
+            assert!(s.len <= budget);
             offset += s.len;
         }
-        prop_assert_eq!(offset, total);
+        assert_eq!(offset, total);
         // Classification.
         if segs.len() == 1 {
-            prop_assert_eq!(segs[0].kind, SegmentKind::Only);
+            assert_eq!(segs[0].kind, SegmentKind::Only);
         } else {
-            prop_assert_eq!(segs[0].kind, SegmentKind::First);
-            prop_assert_eq!(segs[segs.len() - 1].kind, SegmentKind::Last);
+            assert_eq!(segs[0].kind, SegmentKind::First);
+            assert_eq!(segs[segs.len() - 1].kind, SegmentKind::Last);
             for s in &segs[1..segs.len() - 1] {
-                prop_assert_eq!(s.kind, SegmentKind::Middle);
+                assert_eq!(s.kind, SegmentKind::Middle);
             }
         }
         // Reassembly is the identity on data.
@@ -111,54 +113,78 @@ proptest! {
         for s in &segs {
             rebuilt.extend_from_slice(&data[s.offset..s.offset + s.len]);
         }
-        prop_assert_eq!(rebuilt, data);
+        assert_eq!(rebuilt, data);
     }
+}
 
-    /// The internet checksum of a header with its checksum field filled
-    /// in is always zero, and flipping any byte breaks it.
-    #[test]
-    fn ipv4_checksum_detects_corruption(
-        src in any::<[u8; 4]>(),
-        dst in any::<[u8; 4]>(),
-        len in 0usize..1400,
-        ident in any::<u16>(),
-        flip in any::<prop::sample::Index>(),
-    ) {
+/// The internet checksum of a header with its checksum field filled
+/// in is always zero, and flipping any byte breaks it.
+#[test]
+fn ipv4_checksum_detects_corruption() {
+    let mut rng = SimRng::seed(0x1b4);
+    for _ in 0..300 {
+        let mut src = [0u8; 4];
+        let mut dst = [0u8; 4];
+        rng.fill_bytes(&mut src);
+        rng.fill_bytes(&mut dst);
+        let len = rng.below(1400) as usize;
+        let ident = rng.next_u64() as u16;
         let h = ipv4::Ipv4Header::for_udp(ipv4::Ipv4Addr(src), ipv4::Ipv4Addr(dst), len, ident);
         let mut buf = Vec::new();
         h.encode(&mut buf);
-        prop_assert_eq!(ipv4::checksum(&buf), 0);
-        let i = flip.index(buf.len());
+        assert_eq!(ipv4::checksum(&buf), 0);
+        let i = rng.below(buf.len() as u64) as usize;
         buf[i] ^= 0xff;
-        prop_assert_ne!(ipv4::checksum(&buf), 0, "flip at {} undetected", i);
+        assert_ne!(ipv4::checksum(&buf), 0, "flip at {i} undetected");
     }
+}
 
-    /// BTH wire round trip for arbitrary field values.
-    #[test]
-    fn bth_round_trip(op in arb_opcode(), qpn in any::<u32>(), psn in any::<u32>(), ack in any::<bool>()) {
-        let bth = Bth::new(op, qpn, psn, ack);
+/// BTH wire round trip for arbitrary field values.
+#[test]
+fn bth_round_trip() {
+    let mut rng = SimRng::seed(0xb7);
+    for _ in 0..300 {
+        let op = Opcode::ALL[rng.below(Opcode::ALL.len() as u64) as usize];
+        let bth = Bth::new(
+            op,
+            rng.next_u64() as u32,
+            rng.next_u64() as u32,
+            rng.chance(0.5),
+        );
         let mut buf = Vec::new();
         bth.encode(&mut buf);
         let (parsed, rest) = Bth::parse(&buf).expect("parses");
-        prop_assert_eq!(parsed, bth);
-        prop_assert!(rest.is_empty());
+        assert_eq!(parsed, bth);
+        assert!(rest.is_empty());
     }
+}
 
-    /// Payload budgets shrink monotonically with header additions and the
-    /// max_payload fits the MTU.
-    #[test]
-    fn payload_budget_fits_mtu(mtu in 100usize..9000) {
+/// Payload budgets shrink monotonically with header additions and the
+/// max_payload fits the MTU.
+#[test]
+fn payload_budget_fits_mtu() {
+    let mut rng = SimRng::seed(0x307);
+    for _ in 0..300 {
+        let mtu = rng.range(100, 9000) as usize;
         let p = max_payload(mtu);
-        prop_assert!(p < mtu);
+        assert!(p < mtu);
         // A full packet at this budget encodes within MTU + Ethernet.
         if p > 0 {
             let pkt = Packet::new(
-                1, 2, Opcode::WriteOnly, 1, 0,
-                Some(Reth { vaddr: 0, rkey: 0, dma_len: p as u32 }),
+                1,
+                2,
+                Opcode::WriteOnly,
+                1,
+                0,
+                Some(Reth {
+                    vaddr: 0,
+                    rkey: 0,
+                    dma_len: p as u32,
+                }),
                 None,
                 Bytes::from(vec![0u8; p]),
             );
-            prop_assert!(pkt.ip_len() <= mtu);
+            assert!(pkt.ip_len() <= mtu);
         }
     }
 }

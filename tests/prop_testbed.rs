@@ -1,7 +1,6 @@
-//! Property-based tests at the full-testbed level: arbitrary operation
-//! mixes, arbitrary loss rates — data integrity and determinism must hold.
-
-use proptest::prelude::*;
+//! Randomized tests at the full-testbed level: arbitrary operation
+//! mixes, arbitrary loss rates — data integrity and determinism must
+//! hold. Driven by the deterministic [`SimRng`] with fixed seeds.
 
 use strom::nic::{NicConfig, Testbed, WorkRequest};
 use strom::sim::SimRng;
@@ -15,14 +14,18 @@ enum Op {
     Read { off: u64, len: u32 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    (0u64..(1 << 20), 1u32..20_000, any::<bool>()).prop_map(|(off, len, is_write)| {
-        if is_write {
-            Op::Write { off, len }
-        } else {
-            Op::Read { off, len }
-        }
-    })
+fn rand_ops(rng: &mut SimRng, max: u64) -> Vec<Op> {
+    (0..rng.range(1, max))
+        .map(|_| {
+            let off = rng.below(1 << 20);
+            let len = rng.range(1, 20_000) as u32;
+            if rng.chance(0.5) {
+                Op::Write { off, len }
+            } else {
+                Op::Read { off, len }
+            }
+        })
+        .collect()
 }
 
 fn run_ops(ops: &[Op], loss: f64, seed: u64) -> (Vec<u8>, Vec<u8>, u64) {
@@ -98,42 +101,47 @@ fn run_reference(ops: &[Op], seed: u64) -> (Vec<u8>, Vec<u8>) {
     (remote, local)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Any sequence of writes and reads over a lossless wire produces
-    /// exactly the same memory images as the byte-array reference.
-    #[test]
-    fn op_sequences_match_reference(ops in prop::collection::vec(arb_op(), 1..12), seed in any::<u64>()) {
+/// Any sequence of writes and reads over a lossless wire produces
+/// exactly the same memory images as the byte-array reference.
+#[test]
+fn op_sequences_match_reference() {
+    let mut rng = SimRng::seed(0x0b5);
+    for _ in 0..8 {
+        let ops = rand_ops(&mut rng, 12);
+        let seed = rng.next_u64();
         let (remote, local, retx) = run_ops(&ops, 0.0, seed);
         let (want_remote, want_local) = run_reference(&ops, seed);
-        prop_assert_eq!(retx, 0);
-        prop_assert_eq!(remote, want_remote);
-        prop_assert_eq!(local, want_local);
+        assert_eq!(retx, 0);
+        assert_eq!(remote, want_remote);
+        assert_eq!(local, want_local);
     }
+}
 
-    /// The same holds under loss — the reliable transport hides it.
-    #[test]
-    fn op_sequences_survive_loss(
-        ops in prop::collection::vec(arb_op(), 1..6),
-        seed in any::<u64>(),
-        loss in 0.01f64..0.15,
-    ) {
+/// The same holds under loss — the reliable transport hides it.
+#[test]
+fn op_sequences_survive_loss() {
+    let mut rng = SimRng::seed(0x105);
+    for _ in 0..6 {
+        let ops = rand_ops(&mut rng, 6);
+        let seed = rng.next_u64();
+        let loss = 0.01 + rng.unit() * 0.14;
         let (remote, local, _) = run_ops(&ops, loss, seed);
         let (want_remote, want_local) = run_reference(&ops, seed);
-        prop_assert_eq!(remote, want_remote);
-        prop_assert_eq!(local, want_local);
+        assert_eq!(remote, want_remote);
+        assert_eq!(local, want_local);
     }
+}
 
-    /// Determinism: identical inputs produce identical traces, including
-    /// the retransmission count under loss.
-    #[test]
-    fn testbed_is_deterministic(
-        ops in prop::collection::vec(arb_op(), 1..5),
-        seed in any::<u64>(),
-    ) {
+/// Determinism: identical inputs produce identical traces, including
+/// the retransmission count under loss.
+#[test]
+fn testbed_is_deterministic() {
+    let mut rng = SimRng::seed(0xde7e);
+    for _ in 0..4 {
+        let ops = rand_ops(&mut rng, 5);
+        let seed = rng.next_u64();
         let a = run_ops(&ops, 0.05, seed);
         let b = run_ops(&ops, 0.05, seed);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }
