@@ -38,9 +38,23 @@ fn main() {
         );
     }
 
+    println!("== packet_encode_into (pooled buffer) ==");
+    for payload in [64usize, 1440] {
+        let pkt = sample_packet(payload);
+        let mut buf = Vec::new();
+        bench_throughput(
+            &format!("packet_encode_into/{payload}"),
+            pkt.wire_bytes() as u64,
+            || {
+                pkt.encode_into(&mut buf);
+                bb(buf.len())
+            },
+        );
+    }
+
     println!("== packet_parse ==");
     for payload in [64usize, 1440] {
-        let frame = sample_packet(payload).encode();
+        let frame = Bytes::from(sample_packet(payload).encode());
         bench_throughput(
             &format!("packet_parse/{payload}"),
             frame.len() as u64,

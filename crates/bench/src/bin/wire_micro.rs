@@ -1,0 +1,180 @@
+//! Micro-benchmarks of the fast wire datapath, seeding the repo's perf
+//! trajectory.
+//!
+//! Measures the slice-by-16 CRC-32/CRC-64 against their byte-at-a-time
+//! references, the single-pass frame encode and zero-copy parse, and an
+//! end-to-end multi-seed chaos soak (sequential vs parallel), then
+//! writes the numbers to `BENCH_wire.json` at the repo root so runs are
+//! comparable across commits.
+//!
+//! ```text
+//! wire_micro            # full measurement
+//! wire_micro --quick    # CI smoke: fewer soak seeds, same JSON shape
+//! ```
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use strom_bench::micro::{bb, bench};
+use strom_nic::{chaos_model, NicConfig, Testbed, WorkRequest};
+use strom_sim::{parallel_map, SimRng};
+use strom_wire::bth::Reth;
+use strom_wire::icrc;
+use strom_wire::opcode::Opcode;
+use strom_wire::packet::Packet;
+
+/// CRC input size: a jumbo-frame-scale buffer, large enough that table
+/// warmup and loop overhead vanish.
+const CRC_BYTES: usize = 64 * 1024;
+
+fn sample_packet(payload: usize) -> Packet {
+    Packet::new(
+        1,
+        2,
+        Opcode::WriteOnly,
+        5,
+        100,
+        Some(Reth {
+            vaddr: 0x1000,
+            rkey: 1,
+            dma_len: payload as u32,
+        }),
+        None,
+        Bytes::from(vec![0xabu8; payload]),
+    )
+}
+
+/// One independent chaos simulation: a short mixed WRITE/READ workload
+/// under the composed fault model for `seed`. Returns a checksum of the
+/// observables so the work cannot be optimized away.
+fn soak_one(seed: u64, ops: u64) -> u64 {
+    let mut cfg = NicConfig::ten_gig();
+    cfg.seed = seed;
+    let mut tb = Testbed::new(cfg);
+    tb.connect_qp(1);
+    tb.set_fault_model(chaos_model(seed));
+    let a = tb.pin(0, 2 << 20);
+    let b = tb.pin(1, 2 << 20);
+    let mut rng = SimRng::seed(seed ^ 0x50ac);
+    let mut data = vec![0u8; 1 << 20];
+    rng.fill_bytes(&mut data);
+    tb.mem(0).write(a, &data);
+    tb.mem(1).write(b, &data);
+    for _ in 0..ops {
+        let off = rng.below(1 << 19);
+        let len = rng.range(1, 16_000) as u32;
+        let h = if rng.chance(0.5) {
+            tb.post(
+                0,
+                1,
+                WorkRequest::Write {
+                    remote_vaddr: b + (1 << 20) + off,
+                    local_vaddr: a + off,
+                    len,
+                },
+            )
+        } else {
+            tb.post(
+                0,
+                1,
+                WorkRequest::Read {
+                    remote_vaddr: b + off,
+                    local_vaddr: a + (1 << 20) + off,
+                    len,
+                },
+            )
+        };
+        tb.run_until_complete(0, h);
+    }
+    assert!(
+        tb.run_until_idle_bounded(50_000_000),
+        "soak failed to quiesce"
+    );
+    tb.retransmissions(0) ^ tb.status(1).payload_bytes_rx
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (soak_seeds, soak_ops) = if quick { (4u64, 4u64) } else { (24, 10) };
+
+    let mut rng = SimRng::seed(0x1234);
+    let mut data = vec![0u8; CRC_BYTES];
+    rng.fill_bytes(&mut data);
+
+    println!("== CRC-32 (ICRC), {CRC_BYTES} B ==");
+    let icrc_ref = bench("icrc_reference", || bb(icrc::icrc_reference(&data)));
+    let icrc_s8 = bench("icrc_slice16", || bb(icrc::icrc(&data)));
+    assert_eq!(icrc::icrc(&data), icrc::icrc_reference(&data));
+
+    println!("== CRC-64 (ECMA-182), {CRC_BYTES} B ==");
+    let crc64_ref = bench("crc64_reference", || {
+        bb(strom_kernels::crc64::crc64_reference(&data))
+    });
+    let crc64_s8 = bench("crc64_slice16", || bb(strom_kernels::crc64::crc64(&data)));
+    assert_eq!(
+        strom_kernels::crc64::crc64(&data),
+        strom_kernels::crc64::crc64_reference(&data)
+    );
+
+    println!("== frame encode/parse, 1440 B payload ==");
+    let pkt = sample_packet(1440);
+    let mut buf = Vec::new();
+    let encode = bench("packet_encode_into", || {
+        pkt.encode_into(&mut buf);
+        bb(buf.len())
+    });
+    let frame = Bytes::from(pkt.encode());
+    let parse = bench("packet_parse", || bb(Packet::parse(&frame).unwrap()));
+    let frame_bytes = frame.len() as u64;
+
+    println!("== end-to-end chaos soak, {soak_seeds} seeds x {soak_ops} ops ==");
+    let seeds: Vec<u64> = (0..soak_seeds).collect();
+    let t = Instant::now();
+    let sequential: Vec<u64> = seeds.iter().map(|&s| soak_one(s, soak_ops)).collect();
+    let soak_seq_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("{:<40} {soak_seq_ms:>12.1} ms", "soak_sequential");
+    let t = Instant::now();
+    let parallel = parallel_map(seeds, strom_sim::default_workers(), |s| {
+        soak_one(s, soak_ops)
+    });
+    let soak_par_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("{:<40} {soak_par_ms:>12.1} ms", "soak_parallel");
+    assert_eq!(sequential, parallel, "parallel soak must be bit-identical");
+
+    let icrc_speedup = icrc_ref.ns_per_iter / icrc_s8.ns_per_iter;
+    let crc64_speedup = crc64_ref.ns_per_iter / crc64_s8.ns_per_iter;
+    let soak_speedup = soak_seq_ms / soak_par_ms;
+    println!("icrc speedup: {icrc_speedup:.2}x, crc64 speedup: {crc64_speedup:.2}x, soak speedup: {soak_speedup:.2}x");
+
+    let crc = CRC_BYTES as u64;
+    let json = format!(
+        r#"{{
+  "bench": "wire_micro",
+  "mode": "{mode}",
+  "crc_input_bytes": {crc},
+  "icrc_reference_gib_s": {:.4},
+  "icrc_slice16_gib_s": {:.4},
+  "icrc_speedup": {icrc_speedup:.3},
+  "crc64_reference_gib_s": {:.4},
+  "crc64_slice16_gib_s": {:.4},
+  "crc64_speedup": {crc64_speedup:.3},
+  "encode_into_gib_s": {:.4},
+  "parse_gib_s": {:.4},
+  "soak_seeds": {soak_seeds},
+  "soak_sequential_ms": {soak_seq_ms:.1},
+  "soak_parallel_ms": {soak_par_ms:.1},
+  "soak_speedup": {soak_speedup:.3}
+}}
+"#,
+        icrc_ref.gib_per_sec(crc),
+        icrc_s8.gib_per_sec(crc),
+        crc64_ref.gib_per_sec(crc),
+        crc64_s8.gib_per_sec(crc),
+        encode.gib_per_sec(frame_bytes),
+        parse.gib_per_sec(frame_bytes),
+        mode = if quick { "quick" } else { "full" },
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+    std::fs::write(path, &json).expect("write BENCH_wire.json");
+    println!("wrote {path}");
+}

@@ -11,6 +11,7 @@
 use strom_nic::{Testbed, WorkRequest};
 use strom_sim::report::{Figure, Series};
 use strom_sim::stats::{goodput_gbps, msg_rate_mps, Samples};
+use strom_sim::{default_workers, parallel_map};
 
 use super::Scale;
 
@@ -112,11 +113,13 @@ pub fn latency(mut tb: Testbed, scale: Scale, title: &str) -> Figure {
 }
 
 /// Streaming goodput: `messages` back-to-back operations per size.
+///
+/// Each size point builds its own testbeds from `make`, so the sweep is
+/// embarrassingly parallel: points fan out across threads and come back
+/// in size order, numerically identical to the sequential loop.
 pub fn throughput(make: fn() -> Testbed, scale: Scale, title: &str, ideal: f64) -> Figure {
     let sizes = throughput_sizes();
-    let mut write_gbps = Vec::new();
-    let mut read_gbps = Vec::new();
-    for &size in &sizes {
+    let points = parallel_map(sizes.clone(), default_workers(), |size| {
         // Enough messages to amortize startup, but bounded total bytes.
         let count = (scale.messages()).min((64 << 20) / size as usize).max(16);
 
@@ -139,7 +142,7 @@ pub fn throughput(make: fn() -> Testbed, scale: Scale, title: &str, ideal: f64) 
             );
         }
         let t1 = tb.run_until_complete(0, last);
-        write_gbps.push(goodput_gbps(u64::from(size) * count as u64, t0, t1));
+        let write = goodput_gbps(u64::from(size) * count as u64, t0, t1);
 
         // --- READ stream ---
         let mut tb = make();
@@ -160,8 +163,10 @@ pub fn throughput(make: fn() -> Testbed, scale: Scale, title: &str, ideal: f64) 
             );
         }
         let t1 = tb.run_until_complete(0, last);
-        read_gbps.push(goodput_gbps(u64::from(size) * count as u64, t0, t1));
-    }
+        let read = goodput_gbps(u64::from(size) * count as u64, t0, t1);
+        (write, read)
+    });
+    let (write_gbps, read_gbps): (Vec<f64>, Vec<f64>) = points.into_iter().unzip();
 
     Figure::new(
         format!("{title}: throughput of RDMA read and write (ideal {ideal} Gbit/s)"),
@@ -174,10 +179,11 @@ pub fn throughput(make: fn() -> Testbed, scale: Scale, title: &str, ideal: f64) 
 }
 
 /// Message rate: small back-to-back messages.
+///
+/// Parallelized per size point like [`throughput`] — every point is an
+/// independent simulation, merged back in size order.
 pub fn message_rate(make: fn() -> Testbed, scale: Scale, title: &str) -> Figure {
-    let mut write_rate = Vec::new();
-    let mut read_rate = Vec::new();
-    for &size in &MSGRATE_SIZES {
+    let points = parallel_map(MSGRATE_SIZES.to_vec(), default_workers(), |size| {
         let count = scale.messages() * 4;
 
         let mut tb = make();
@@ -198,7 +204,7 @@ pub fn message_rate(make: fn() -> Testbed, scale: Scale, title: &str) -> Figure 
             );
         }
         let t1 = tb.run_until_complete(0, last);
-        write_rate.push(msg_rate_mps(count as u64, t0, t1));
+        let write = msg_rate_mps(count as u64, t0, t1);
 
         let mut tb = make();
         let dst = tb.pin(0, 1 << 21);
@@ -218,8 +224,9 @@ pub fn message_rate(make: fn() -> Testbed, scale: Scale, title: &str) -> Figure 
             );
         }
         let t1 = tb.run_until_complete(0, last);
-        read_rate.push(msg_rate_mps(count as u64, t0, t1));
-    }
+        (write, msg_rate_mps(count as u64, t0, t1))
+    });
+    let (write_rate, read_rate): (Vec<f64>, Vec<f64>) = points.into_iter().unzip();
 
     Figure::new(
         format!("{title}: message rate of RDMA read and write"),

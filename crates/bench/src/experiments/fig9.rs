@@ -12,6 +12,7 @@ use strom_kernels::layouts::build_object_store;
 use strom_nic::{RpcOpCode, WorkRequest};
 use strom_sim::report::{Figure, Series};
 use strom_sim::stats::Samples;
+use strom_sim::{default_workers, parallel_map};
 
 use super::{testbed_10g, Scale};
 
@@ -27,13 +28,14 @@ fn size_label(bytes: u32) -> String {
 }
 
 /// Runs the three approaches across object sizes.
+///
+/// Each object size builds its own testbeds, so size points fan out
+/// across threads and merge back in size order — the per-point medians
+/// are independent deterministic simulations, identical to a sequential
+/// sweep.
 pub fn run(scale: Scale) -> Figure {
     let iters = scale.iterations();
-    let mut read_med = Vec::new();
-    let mut read_sw_med = Vec::new();
-    let mut strom_med = Vec::new();
-
-    for &osize in &OBJECT_SIZES {
+    let points = parallel_map(OBJECT_SIZES.to_vec(), default_workers(), |osize| {
         let payload = osize - 8; // 8 B inline CRC header.
 
         // Shared testbed for READ and READ+SW (same client).
@@ -52,7 +54,7 @@ pub fn run(scale: Scale) -> Figure {
             samples.record(t1 - t0);
             tb.run_until_idle();
         }
-        read_med.push(samples.summarize().expect("samples").median_us());
+        let read = samples.summarize().expect("samples").median_us();
 
         // --- READ + software CRC64 ---
         let model = SwCrcModel::new();
@@ -65,7 +67,7 @@ pub fn run(scale: Scale) -> Figure {
             samples.record(t1 - t0);
             tb.run_until_idle();
         }
-        read_sw_med.push(samples.summarize().expect("samples").median_us());
+        let read_sw = samples.summarize().expect("samples").median_us();
 
         // --- StRoM consistency kernel ---
         let mut tb = testbed_10g();
@@ -94,7 +96,19 @@ pub fn run(scale: Scale) -> Figure {
             samples.record(t1 - t0);
             tb.run_until_idle();
         }
-        strom_med.push(samples.summarize().expect("samples").median_us());
+        (
+            read,
+            read_sw,
+            samples.summarize().expect("samples").median_us(),
+        )
+    });
+    let mut read_med = Vec::new();
+    let mut read_sw_med = Vec::new();
+    let mut strom_med = Vec::new();
+    for (read, read_sw, strom) in points {
+        read_med.push(read);
+        read_sw_med.push(read_sw);
+        strom_med.push(strom);
     }
 
     Figure::new(

@@ -29,7 +29,9 @@ pub enum Event {
         /// The receiving node.
         node: NodeId,
         /// The raw frame bytes (parsed on arrival — bit-accurate RX).
-        frame: Vec<u8>,
+        /// Carried as `Bytes` so fault-model duplication and the frame
+        /// pool share one buffer instead of copying it.
+        frame: Bytes,
     },
     /// A DMA write to host memory completed (data becomes visible to CPU
     /// pollers and watches).

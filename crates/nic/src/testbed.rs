@@ -1,9 +1,16 @@
 //! The two-node StRoM testbed: the simulated equivalent of §6.1's setup
 //! ("we directly connected two StRoM NICs to each other").
 //!
-//! Every packet is encoded to bytes on transmit and parsed (with ICRC
-//! validation) on receive; host memory is byte-accurate behind the TLB;
-//! and every latency component is charged explicitly:
+//! Every packet still crosses the wire as real bytes — encoded on
+//! transmit and parsed (with ICRC validation) on receive — but the byte
+//! handling is pooled and zero-copy: transmit draws a reusable buffer
+//! from a small frame pool and [`Packet::encode_into`] fills it in one
+//! pass; the frame travels as [`Bytes`]; fault injection flips bits in
+//! the buffer in place before it is frozen; and [`Packet::parse`] returns
+//! the payload as an O(1) slice of the frame. After RX dispatch the
+//! buffer returns to the pool if nothing still references its payload.
+//! Host memory is byte-accurate behind the TLB, and every latency
+//! component is charged explicitly:
 //!
 //! ```text
 //! host post → MMIO → TX pipeline → payload DMA fetch → wire
@@ -36,6 +43,40 @@ use crate::config::NicConfig;
 use crate::event::{Event, NodeId};
 use crate::fabric::KernelFabric;
 use crate::fault::{self, LinkFaultModel, LinkFaultState};
+
+/// A small free-list of reusable frame buffers for the transmit path.
+///
+/// `take` hands out a cleared `Vec` for [`Packet::encode_into`]; the Vec
+/// is frozen into [`Bytes`] for transit (a pure move in the vendored
+/// shim) and `put` reclaims it after RX dispatch via
+/// [`Bytes::try_reclaim`]. Reclaim is best-effort: it succeeds only when
+/// nothing still references the frame — true for ACKs and control
+/// packets, false while a zero-copy payload slice is held by a pending
+/// DMA event or reassembly state, in which case the buffer is simply
+/// dropped and the pool refills from later frames.
+#[derive(Debug, Default)]
+struct FramePool {
+    free: Vec<Vec<u8>>,
+}
+
+impl FramePool {
+    /// Enough for the frames in flight on a two-node wire; beyond this,
+    /// extra buffers are dropped rather than hoarded.
+    const MAX_POOLED: usize = 32;
+
+    fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, frame: Bytes) {
+        if self.free.len() < Self::MAX_POOLED {
+            if let Ok(mut v) = frame.try_reclaim() {
+                v.clear();
+                self.free.push(v);
+            }
+        }
+    }
+}
 
 /// Handle to a registered memory watch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +178,8 @@ pub struct Testbed {
     /// a FIFO: a short packet's smaller store-and-forward delay must not
     /// let it overtake an earlier, larger packet on the same wire.
     last_arrival: [Time; 2],
+    /// Reusable transmit frame buffers (zero-allocation steady state).
+    pool: FramePool,
 }
 
 impl Testbed {
@@ -182,6 +225,7 @@ impl Testbed {
             next_handle: 1,
             watches: Vec::new(),
             last_arrival: [0, 0],
+            pool: FramePool::default(),
             cfg,
         }
     }
@@ -578,7 +622,7 @@ impl Testbed {
                 wr,
                 handle,
             } => self.on_cmd(node, qpn, wr, handle, now),
-            Event::FrameArrive { node, frame } => self.on_frame(node, &frame, now),
+            Event::FrameArrive { node, frame } => self.on_frame(node, frame, now),
             Event::DmaWriteDone { node, vaddr, data } => {
                 self.on_dma_write_done(node, vaddr, &data, now)
             }
@@ -629,9 +673,9 @@ impl Testbed {
         }
     }
 
-    fn on_frame(&mut self, node: NodeId, frame: &[u8], now: Time) {
+    fn on_frame(&mut self, node: NodeId, frame: Bytes, now: Time) {
         self.nodes[node].frames_rx += 1;
-        let pkt = match Packet::parse(frame) {
+        let pkt = match Packet::parse(&frame) {
             Ok(p) => p,
             // A checksum catching in-flight corruption (ICRC over
             // BTH+payload, IPv4 header checksum) degrades the frame into a
@@ -639,10 +683,12 @@ impl Testbed {
             // separately from structurally malformed frames.
             Err(PacketError::Icrc | PacketError::Ip) => {
                 self.nodes[node].frames_crc_dropped += 1;
+                self.pool.put(frame);
                 return;
             }
             Err(_) => {
                 self.nodes[node].frames_parse_dropped += 1;
+                self.pool.put(frame);
                 return;
             }
         };
@@ -684,6 +730,11 @@ impl Testbed {
                 self.exec_responder_actions(node, &pkt, actions, now);
             }
         }
+        // Best-effort buffer reuse: the parsed packet's payload is a
+        // zero-copy slice of `frame`, so drop it first — reclaim then
+        // succeeds exactly when dispatch kept no reference (ACKs, NAKs).
+        drop(pkt);
+        self.pool.put(frame);
     }
 
     fn on_ack(&mut self, node: NodeId, qpn: Qpn, psn: Psn, aeth: Aeth, now: Time) {
@@ -1075,13 +1126,19 @@ impl Testbed {
             + self.cfg.store_and_forward_time(ip_len)
             + self.cfg.rx_pipeline_time())
         .max(self.last_arrival[peer] + self.cfg.clock.period_ps());
-        let mut frame = pkt.encode();
+        // Encode into a pooled buffer (single pass, no intermediate
+        // allocation) and flip fault-injected bits in place while the
+        // buffer is still mutable — then freeze it into `Bytes` for
+        // transit (a pure move, never a copy).
+        let mut buf = self.pool.take();
+        pkt.encode_into(&mut buf);
         if fault.corrupt_rate > 0.0 && fault.should_corrupt(&mut self.rng) {
             // One bit flips in flight; the receiver's checksums must catch
             // it (frames_crc_dropped) unless it lands in the handful of
             // unprotected header bytes, where it is harmless.
-            fault::flip_random_bit(&mut frame, &mut self.rng);
+            fault::flip_random_bit(&mut buf, &mut self.rng);
         }
+        let frame = Bytes::from(buf);
         let arrival = match if fault.reorder_rate > 0.0 {
             fault.reorder_delay(&mut self.rng)
         } else {

@@ -13,6 +13,7 @@
 
 pub mod event;
 pub mod fifo;
+pub mod parallel;
 pub mod rate;
 pub mod report;
 pub mod rng;
@@ -21,6 +22,7 @@ pub mod time;
 
 pub use event::{EventQueue, Scheduled};
 pub use fifo::Fifo;
+pub use parallel::{default_workers, parallel_map};
 pub use rate::{Bandwidth, LinkSerializer};
 pub use rng::SimRng;
 pub use stats::{LatencySummary, Samples};

@@ -6,6 +6,14 @@
 //! [+ RETH] [+ AETH] + payload + ICRC); `parse` is its inverse and performs
 //! the same validity checks the hardware pipeline performs, stage by stage,
 //! reporting *where* an invalid packet would have been dropped.
+//!
+//! Both directions are engineered as a fast datapath: [`Packet::encode_into`]
+//! writes the whole frame into one caller-supplied buffer in a single pass
+//! (header lengths are known up front, so no intermediate RoCE-payload
+//! buffer is assembled and the ICRC is computed in place over the tail),
+//! and [`Packet::parse`] takes the frame as [`Bytes`] and returns the
+//! payload as an O(1) slice of it — zero copies on either side of the
+//! simulated wire.
 
 use bytes::Bytes;
 
@@ -88,19 +96,13 @@ impl Packet {
         Packet {
             dst_mac: MacAddr::from_node_id(dst_node),
             src_mac: MacAddr::from_node_id(src_node),
-            src_ip: Ipv4Addr::from_node_id(dst_node as u8 ^ 0xff), // Placeholder, fixed below.
+            src_ip: Ipv4Addr::from_node_id(src_node as u8),
             dst_ip: Ipv4Addr::from_node_id(dst_node as u8),
             bth: Bth::new(opcode, dest_qp, psn, opcode.ends_message()),
             reth,
             aeth,
             payload,
         }
-        .with_src_ip(Ipv4Addr::from_node_id(src_node as u8))
-    }
-
-    fn with_src_ip(mut self, ip: Ipv4Addr) -> Self {
-        self.src_ip = ip;
-        self
     }
 
     /// The op-code, for convenience.
@@ -134,38 +136,54 @@ impl Packet {
         ethernet::wire_bytes(self.ip_len())
     }
 
-    /// Encodes the full frame byte stream.
+    /// Encodes the full frame byte stream into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(ethernet::ETHERNET_HEADER_LEN + self.ip_len());
-        ethernet::encode_header(self.dst_mac, self.src_mac, EtherType::Ipv4, &mut buf);
-
-        // The RoCE payload (UDP payload): BTH [+RETH] [+AETH] + data + ICRC.
-        let mut roce = Vec::with_capacity(self.ip_len());
-        self.bth.encode(&mut roce);
-        if let Some(reth) = &self.reth {
-            reth.encode(&mut roce);
-        }
-        if let Some(aeth) = &self.aeth {
-            aeth.encode(&mut roce);
-        }
-        roce.extend_from_slice(&self.payload);
-        icrc::append_icrc(&mut roce);
-
-        let udp = UdpHeader::for_roce((self.bth.dest_qp & 0xffff) as u16, roce.len());
-        let ip = Ipv4Header::for_udp(
-            self.src_ip,
-            self.dst_ip,
-            crate::udp::UDP_HEADER_LEN + roce.len(),
-            0,
-        );
-        ip.encode(&mut buf);
-        udp.encode(&mut buf);
-        buf.extend_from_slice(&roce);
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
         buf
     }
 
+    /// Encodes the full frame byte stream into `buf` (cleared first) in a
+    /// single pass: every length is known up front from [`Self::ip_len`],
+    /// so headers, payload, and ICRC are written directly into one buffer
+    /// with no intermediate allocation. `buf` is typically drawn from a
+    /// frame-buffer pool and reused across packets.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        let ip_len = self.ip_len();
+        buf.reserve(ethernet::ETHERNET_HEADER_LEN + ip_len);
+        ethernet::encode_header(self.dst_mac, self.src_mac, EtherType::Ipv4, buf);
+
+        let udp_len = ip_len - crate::ipv4::IPV4_HEADER_LEN;
+        let roce_len = udp_len - crate::udp::UDP_HEADER_LEN;
+        let ip = Ipv4Header::for_udp(self.src_ip, self.dst_ip, udp_len, 0);
+        ip.encode(buf);
+        let udp = UdpHeader::for_roce((self.bth.dest_qp & 0xffff) as u16, roce_len);
+        udp.encode(buf);
+
+        // The RoCE (UDP) payload: BTH [+RETH] [+AETH] + data + ICRC, with
+        // the ICRC computed in place over the bytes just written.
+        let roce_start = buf.len();
+        self.bth.encode(buf);
+        if let Some(reth) = &self.reth {
+            reth.encode(buf);
+        }
+        if let Some(aeth) = &self.aeth {
+            aeth.encode(buf);
+        }
+        buf.extend_from_slice(&self.payload);
+        let crc = icrc::icrc(&buf[roce_start..]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(buf.len(), ethernet::ETHERNET_HEADER_LEN + ip_len);
+    }
+
     /// Parses a frame, performing every pipeline validity check.
-    pub fn parse(frame: &[u8]) -> Result<Packet, PacketError> {
+    ///
+    /// Zero-copy: the returned packet's payload is an O(1)
+    /// [`Bytes::slice`] of `frame`, not a copy — the frame buffer stays
+    /// alive (and, in the testbed, out of the frame pool) for exactly as
+    /// long as something still references the payload.
+    pub fn parse(frame: &Bytes) -> Result<Packet, PacketError> {
         let (dst_mac, src_mac, ethertype, rest) =
             ethernet::parse_header(frame).ok_or(PacketError::Ethernet)?;
         if EtherType::from_wire(ethertype) != Some(EtherType::Ipv4) {
@@ -197,6 +215,10 @@ impl Packet {
         } else {
             (None, rest)
         };
+        // `rest` is the payload: it ends exactly ICRC_LEN bytes before the
+        // frame's end, so recover its offset from the lengths and slice.
+        let payload_end = frame.len() - icrc::ICRC_LEN;
+        let payload_start = payload_end - rest.len();
         Ok(Packet {
             dst_mac,
             src_mac,
@@ -205,7 +227,7 @@ impl Packet {
             bth,
             reth,
             aeth,
-            payload: Bytes::copy_from_slice(rest),
+            payload: frame.slice(payload_start..payload_end),
         })
     }
 }
@@ -235,7 +257,7 @@ mod tests {
     #[test]
     fn encode_parse_round_trip_write() {
         let p = write_only(b"hello strom");
-        let parsed = Packet::parse(&p.encode()).unwrap();
+        let parsed = Packet::parse(&Bytes::from(p.encode())).unwrap();
         assert_eq!(parsed, p);
     }
 
@@ -254,7 +276,7 @@ mod tests {
             }),
             Bytes::new(),
         );
-        let parsed = Packet::parse(&p.encode()).unwrap();
+        let parsed = Packet::parse(&Bytes::from(p.encode())).unwrap();
         assert_eq!(parsed, p);
     }
 
@@ -274,7 +296,7 @@ mod tests {
             None,
             Bytes::from(vec![7u8; 48]),
         );
-        let parsed = Packet::parse(&p.encode()).unwrap();
+        let parsed = Packet::parse(&Bytes::from(p.encode())).unwrap();
         assert_eq!(parsed, p);
         assert!(parsed.opcode().is_strom_extension());
     }
@@ -285,7 +307,7 @@ mod tests {
         let mut frame = p.encode();
         let n = frame.len();
         frame[n - 10] ^= 0x40;
-        assert_eq!(Packet::parse(&frame), Err(PacketError::Icrc));
+        assert_eq!(Packet::parse(&Bytes::from(frame)), Err(PacketError::Icrc));
     }
 
     #[test]
@@ -295,7 +317,7 @@ mod tests {
         // UDP dst port lives at eth(14) + ip(20) + 2.
         frame[14 + 20 + 2] = 0;
         frame[14 + 20 + 3] = 53;
-        assert_eq!(Packet::parse(&frame), Err(PacketError::Udp));
+        assert_eq!(Packet::parse(&Bytes::from(frame)), Err(PacketError::Udp));
     }
 
     #[test]
@@ -304,7 +326,10 @@ mod tests {
         let mut frame = p.encode();
         frame[12] = 0x86;
         frame[13] = 0xdd; // IPv6.
-        assert_eq!(Packet::parse(&frame), Err(PacketError::Ethernet));
+        assert_eq!(
+            Packet::parse(&Bytes::from(frame)),
+            Err(PacketError::Ethernet)
+        );
     }
 
     #[test]
@@ -339,7 +364,7 @@ mod tests {
             None,
             Bytes::from(vec![1u8; 32]),
         );
-        let parsed = Packet::parse(&p.encode()).unwrap();
+        let parsed = Packet::parse(&Bytes::from(p.encode())).unwrap();
         assert!(parsed.reth.is_none());
         assert_eq!(parsed.payload.len(), 32);
     }

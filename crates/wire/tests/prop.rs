@@ -5,6 +5,7 @@ use bytes::Bytes;
 use strom_sim::SimRng;
 
 use strom_wire::bth::{Aeth, AethSyndrome, Bth, Reth};
+use strom_wire::icrc;
 use strom_wire::opcode::Opcode;
 use strom_wire::packet::Packet;
 use strom_wire::segment::{segment_message, SegmentKind};
@@ -39,7 +40,7 @@ fn packet_round_trip() {
     let mut rng = SimRng::seed(0x77_17);
     for _ in 0..300 {
         let pkt = rand_packet(&mut rng);
-        let parsed = Packet::parse(&pkt.encode()).expect("own encoding parses");
+        let parsed = Packet::parse(&Bytes::from(pkt.encode())).expect("own encoding parses");
         assert_eq!(parsed, pkt);
     }
 }
@@ -62,7 +63,7 @@ fn bit_flips_never_panic_and_rarely_pass() {
         // (a *variable* field the ICRC masks out), and the UDP checksum
         // (zero by RoCE convention, not validated).
         let unprotected = i < 12 || (34..36).contains(&i) || (40..42).contains(&i);
-        if Packet::parse(&frame).is_ok() {
+        if Packet::parse(&Bytes::from(frame)).is_ok() {
             assert!(unprotected, "flip at byte {i} passed");
         }
     }
@@ -74,9 +75,37 @@ fn truncation_is_rejected() {
     let mut rng = SimRng::seed(0x7277);
     for _ in 0..300 {
         let pkt = rand_packet(&mut rng);
-        let frame = pkt.encode();
+        let frame = Bytes::from(pkt.encode());
         let keep = rng.below(frame.len() as u64) as usize;
-        assert!(Packet::parse(&frame[..keep]).is_err());
+        assert!(Packet::parse(&frame.slice(..keep)).is_err());
+    }
+}
+
+/// The slice-by-16 ICRC equals the byte-at-a-time reference on random
+/// lengths, contents, and alignments — including empty, 1-byte, and
+/// larger-than-MTU inputs, and unaligned starting offsets (the sliced loop
+/// reads multi-byte chunks, so every offset modulo the block must agree).
+#[test]
+fn icrc_slice16_matches_reference() {
+    let mut rng = SimRng::seed(0xc32c);
+    let mut buf = vec![0u8; 16384];
+    rng.fill_bytes(&mut buf);
+    for len in [0usize, 1, 7, 8, 9, 4096, 9001, 16384] {
+        assert_eq!(
+            icrc::icrc(&buf[..len]),
+            icrc::icrc_reference(&buf[..len]),
+            "fixed len = {len}"
+        );
+    }
+    for _ in 0..500 {
+        let start = rng.below(64) as usize;
+        let len = rng.below((buf.len() - start) as u64 + 1) as usize;
+        let data = &buf[start..start + len];
+        assert_eq!(
+            icrc::icrc(data),
+            icrc::icrc_reference(data),
+            "start = {start}, len = {len}"
+        );
     }
 }
 

@@ -20,7 +20,7 @@ use strom::nic::{
     StatusRegisters, Testbed, WorkRequest,
 };
 use strom::sim::time::MICROS;
-use strom::sim::SimRng;
+use strom::sim::{default_workers, parallel_map, SimRng};
 
 const CLIENT: usize = 0;
 const SERVER: usize = 1;
@@ -158,9 +158,12 @@ fn run_reference(ops: &[Op], seed: u64) -> (Vec<u8>, Vec<u8>) {
 /// fired — including corrupted frames provably dropped by the ICRC.
 #[test]
 fn chaos_soak_data_plane_survives_composed_faults() {
-    let mut total = StatusRegisters::default();
-    let mut total_retx = 0u64;
-    for seed in 0..24u64 {
+    // Each seed drives a fully independent simulation (its own testbed,
+    // its own RNG), so the corpus fans out across worker threads;
+    // results come back in seed order and are aggregated exactly as the
+    // sequential loop would (the per-seed outcomes are bit-identical —
+    // see `parallel_soak_is_bit_identical_to_sequential`).
+    let outcomes = parallel_map((0..24u64).collect(), default_workers(), |seed| {
         let model = chaos_model(seed);
         assert!(active_fault_types(&model) >= 2, "seed {seed}: {model:?}");
         let ops = rand_ops(&mut SimRng::seed(seed ^ 0x0b5), 7);
@@ -182,6 +185,11 @@ fn chaos_soak_data_plane_survives_composed_faults() {
             "seed {seed}: {} retransmissions looks like a storm",
             outcome.retransmissions
         );
+        outcome
+    });
+    let mut total = StatusRegisters::default();
+    let mut total_retx = 0u64;
+    for (seed, outcome) in outcomes.into_iter().enumerate() {
         total_retx += outcome.retransmissions;
         for s in outcome.status {
             total.frames_crc_dropped += s.frames_crc_dropped;
@@ -214,6 +222,25 @@ fn chaos_runs_are_bit_identical_for_identical_seeds() {
         let second = run_chaos_ops(&ops, model, seed);
         assert_eq!(first, second, "seed {seed}: chaos run is not reproducible");
     }
+}
+
+/// Determinism regression for the parallel runner: fanning the soak out
+/// across threads yields byte-identical per-seed reports (memory images,
+/// retransmission counts, status registers) to the sequential path.
+#[test]
+fn parallel_soak_is_bit_identical_to_sequential() {
+    let run = |seed: u64| {
+        let model = chaos_model(seed);
+        let ops = rand_ops(&mut SimRng::seed(seed ^ 0x0b5), 7);
+        run_chaos_ops(&ops, model, seed)
+    };
+    let seeds: Vec<u64> = (0..8).collect();
+    let sequential: Vec<ChaosOutcome> = seeds.iter().map(|&s| run(s)).collect();
+    let parallel = parallel_map(seeds, 4, run);
+    assert_eq!(
+        parallel, sequential,
+        "parallel execution must not change any per-seed observable"
+    );
 }
 
 /// Runs all four paper kernels (traversal, get, consistency, shuffle)
@@ -368,9 +395,11 @@ fn run_chaos_kernels(seed: u64) {
 /// results delivered intact.
 #[test]
 fn chaos_soak_kernels_survive_composed_faults() {
-    for seed in [1u64, 4, 9, 14, 19, 22] {
-        run_chaos_kernels(seed);
-    }
+    parallel_map(
+        vec![1u64, 4, 9, 14, 19, 22],
+        default_workers(),
+        run_chaos_kernels,
+    );
 }
 
 /// With a dead link (loss = 1.0) the retry budget exhausts: the work

@@ -14,10 +14,16 @@ use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// Shared immutable storage behind a [`Bytes`] handle.
+///
+/// Heap storage is `Arc<Vec<u8>>` rather than `Arc<[u8]>`: `Vec<u8> →
+/// Bytes` is then a pure move (no `into_boxed_slice` reallocation when
+/// capacity exceeds length), and a sole owner can reclaim the `Vec` for
+/// reuse via [`Bytes::try_reclaim`] — the mechanism behind the testbed's
+/// frame-buffer pool.
 #[derive(Debug, Clone)]
 enum Storage {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Shared(Arc<Vec<u8>>),
 }
 
 /// A cheaply cloneable and sliceable chunk of contiguous memory.
@@ -108,6 +114,33 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Attempts to take back the underlying heap buffer without copying.
+    ///
+    /// Succeeds only when this handle is the *sole* owner of heap storage
+    /// (no other `Bytes` clones or slices alive); the returned `Vec` is
+    /// the whole backing buffer, regardless of how this handle was
+    /// sliced. On failure the handle is returned unchanged. Static-backed
+    /// `Bytes` never reclaim.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes {
+            storage,
+            offset,
+            len,
+        } = self;
+        match storage {
+            Storage::Shared(arc) => Arc::try_unwrap(arc).map_err(|arc| Bytes {
+                storage: Storage::Shared(arc),
+                offset,
+                len,
+            }),
+            s @ Storage::Static(_) => Err(Bytes {
+                storage: s,
+                offset,
+                len,
+            }),
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -143,7 +176,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            storage: Storage::Shared(Arc::from(v.into_boxed_slice())),
+            storage: Storage::Shared(Arc::new(v)),
             offset: 0,
             len,
         }
@@ -164,12 +197,7 @@ impl<const N: usize> From<&'static [u8; N]> for Bytes {
 
 impl From<Box<[u8]>> for Bytes {
     fn from(b: Box<[u8]>) -> Self {
-        let len = b.len();
-        Bytes {
-            storage: Storage::Shared(Arc::from(b)),
-            offset: 0,
-            len,
-        }
+        Bytes::from(b.into_vec())
     }
 }
 
@@ -312,5 +340,42 @@ mod tests {
         assert!(Bytes::new().is_empty());
         assert!(Bytes::default().is_empty());
         assert_eq!(Bytes::new().len(), 0);
+    }
+
+    #[test]
+    fn from_vec_does_not_copy() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"payload");
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "move, not reallocation");
+    }
+
+    #[test]
+    fn sole_owner_reclaims_the_buffer() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let v = b.try_reclaim().expect("sole owner");
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reclaim_fails_while_a_slice_is_alive() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let s = b.slice(1..3);
+        let b = b.try_reclaim().expect_err("slice keeps storage alive");
+        assert_eq!(b, [1u8, 2, 3, 4]);
+        drop(s);
+        assert!(b.try_reclaim().is_ok(), "reclaims once the slice drops");
+    }
+
+    #[test]
+    fn sliced_sole_owner_reclaims_the_whole_buffer() {
+        let b = Bytes::from(vec![5u8, 6, 7, 8]).slice(1..3);
+        assert_eq!(b.try_reclaim().expect("sole owner"), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn static_bytes_never_reclaim() {
+        assert!(Bytes::from_static(b"abc").try_reclaim().is_err());
     }
 }
