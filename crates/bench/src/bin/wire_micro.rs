@@ -2,10 +2,12 @@
 //! trajectory.
 //!
 //! Measures the slice-by-16 CRC-32/CRC-64 against their byte-at-a-time
-//! references, the single-pass frame encode and zero-copy parse, and an
-//! end-to-end multi-seed chaos soak (sequential vs parallel), then
-//! writes the numbers to `BENCH_wire.json` at the repo root so runs are
-//! comparable across commits.
+//! references, the single-pass frame encode and zero-copy parse, the
+//! per-emission cost of a disabled vs enabled [`TraceSink`], and an
+//! end-to-end multi-seed chaos soak (sequential vs parallel) whose
+//! completion-latency percentiles come from the testbed's telemetry
+//! histograms, then writes the numbers to `BENCH_wire.json` at the repo
+//! root so runs are comparable across commits.
 //!
 //! ```text
 //! wire_micro            # full measurement
@@ -18,6 +20,7 @@ use bytes::Bytes;
 use strom_bench::micro::{bb, bench};
 use strom_nic::{chaos_model, NicConfig, Testbed, WorkRequest};
 use strom_sim::{parallel_map, SimRng};
+use strom_telemetry::{Histogram, TraceEvent, TraceSink};
 use strom_wire::bth::Reth;
 use strom_wire::icrc;
 use strom_wire::opcode::Opcode;
@@ -44,13 +47,26 @@ fn sample_packet(payload: usize) -> Packet {
     )
 }
 
+/// Observables of one chaos soak run: a checksum (so the work cannot be
+/// optimized away) plus the testbed's completion-latency histograms.
+#[derive(Debug, Clone, PartialEq)]
+struct SoakResult {
+    checksum: u64,
+    write_lat: Histogram,
+    read_lat: Histogram,
+}
+
 /// One independent chaos simulation: a short mixed WRITE/READ workload
-/// under the composed fault model for `seed`. Returns a checksum of the
-/// observables so the work cannot be optimized away.
-fn soak_one(seed: u64, ops: u64) -> u64 {
+/// under the composed fault model for `seed`. With `trace_capacity` the
+/// run also records a full event trace, which must not perturb any
+/// observable (asserted in `main`).
+fn soak_one(seed: u64, ops: u64, trace_capacity: Option<usize>) -> SoakResult {
     let mut cfg = NicConfig::ten_gig();
     cfg.seed = seed;
     let mut tb = Testbed::new(cfg);
+    if let Some(capacity) = trace_capacity {
+        tb.enable_tracing(capacity);
+    }
     tb.connect_qp(1);
     tb.set_fault_model(chaos_model(seed));
     let a = tb.pin(0, 2 << 20);
@@ -90,7 +106,11 @@ fn soak_one(seed: u64, ops: u64) -> u64 {
         tb.run_until_idle_bounded(50_000_000),
         "soak failed to quiesce"
     );
-    tb.retransmissions(0) ^ tb.status(1).payload_bytes_rx
+    SoakResult {
+        checksum: tb.retransmissions(0) ^ tb.status(1).payload_bytes_rx,
+        write_lat: tb.metrics().histogram("latency.write_ps").snapshot(),
+        read_lat: tb.metrics().histogram("latency.read_ps").snapshot(),
+    }
 }
 
 fn main() {
@@ -127,19 +147,58 @@ fn main() {
     let parse = bench("packet_parse", || bb(Packet::parse(&frame).unwrap()));
     let frame_bytes = frame.len() as u64;
 
+    println!("== trace emission, disabled vs enabled sink ==");
+    let sink_off = TraceSink::default();
+    let trace_off = bench("trace_emit_disabled", || {
+        sink_off.emit(TraceEvent::Retransmit { qpn: 1, packets: 2 });
+        bb(&sink_off)
+    });
+    let sink_on = TraceSink::enabled(1 << 12);
+    let trace_on = bench("trace_emit_enabled", || {
+        sink_on.emit(TraceEvent::Retransmit { qpn: 1, packets: 2 });
+        bb(&sink_on)
+    });
+
     println!("== end-to-end chaos soak, {soak_seeds} seeds x {soak_ops} ops ==");
     let seeds: Vec<u64> = (0..soak_seeds).collect();
     let t = Instant::now();
-    let sequential: Vec<u64> = seeds.iter().map(|&s| soak_one(s, soak_ops)).collect();
+    let sequential: Vec<SoakResult> = seeds.iter().map(|&s| soak_one(s, soak_ops, None)).collect();
     let soak_seq_ms = t.elapsed().as_secs_f64() * 1e3;
     println!("{:<40} {soak_seq_ms:>12.1} ms", "soak_sequential");
     let t = Instant::now();
-    let parallel = parallel_map(seeds, strom_sim::default_workers(), |s| {
-        soak_one(s, soak_ops)
+    let parallel = parallel_map(seeds.clone(), strom_sim::default_workers(), |s| {
+        soak_one(s, soak_ops, None)
     });
     let soak_par_ms = t.elapsed().as_secs_f64() * 1e3;
     println!("{:<40} {soak_par_ms:>12.1} ms", "soak_parallel");
     assert_eq!(sequential, parallel, "parallel soak must be bit-identical");
+
+    // Telemetry is observation-only: rerunning one seed with a full event
+    // trace must reproduce the untraced checksum and histograms exactly.
+    let traced = soak_one(seeds[0], soak_ops, Some(1 << 15));
+    assert_eq!(traced, sequential[0], "tracing must not perturb the soak");
+
+    let mut write_lat = Histogram::new();
+    let mut read_lat = Histogram::new();
+    for r in &sequential {
+        write_lat.merge(&r.write_lat);
+        read_lat.merge(&r.read_lat);
+    }
+    let q_us = |h: &Histogram, q: f64| h.quantile(q).unwrap_or(0) as f64 / 1e6;
+    println!(
+        "soak write latency: p50 {:.1} us, p99 {:.1} us, p999 {:.1} us ({} samples)",
+        q_us(&write_lat, 0.50),
+        q_us(&write_lat, 0.99),
+        q_us(&write_lat, 0.999),
+        write_lat.count(),
+    );
+    println!(
+        "soak read latency:  p50 {:.1} us, p99 {:.1} us, p999 {:.1} us ({} samples)",
+        q_us(&read_lat, 0.50),
+        q_us(&read_lat, 0.99),
+        q_us(&read_lat, 0.999),
+        read_lat.count(),
+    );
 
     let icrc_speedup = icrc_ref.ns_per_iter / icrc_s8.ns_per_iter;
     let crc64_speedup = crc64_ref.ns_per_iter / crc64_s8.ns_per_iter;
@@ -160,10 +219,18 @@ fn main() {
   "crc64_speedup": {crc64_speedup:.3},
   "encode_into_gib_s": {:.4},
   "parse_gib_s": {:.4},
+  "trace_emit_disabled_ns": {:.2},
+  "trace_emit_enabled_ns": {:.2},
   "soak_seeds": {soak_seeds},
   "soak_sequential_ms": {soak_seq_ms:.1},
   "soak_parallel_ms": {soak_par_ms:.1},
-  "soak_speedup": {soak_speedup:.3}
+  "soak_speedup": {soak_speedup:.3},
+  "write_p50_us": {:.3},
+  "write_p99_us": {:.3},
+  "write_p999_us": {:.3},
+  "read_p50_us": {:.3},
+  "read_p99_us": {:.3},
+  "read_p999_us": {:.3}
 }}
 "#,
         icrc_ref.gib_per_sec(crc),
@@ -172,6 +239,14 @@ fn main() {
         crc64_s8.gib_per_sec(crc),
         encode.gib_per_sec(frame_bytes),
         parse.gib_per_sec(frame_bytes),
+        trace_off.ns_per_iter,
+        trace_on.ns_per_iter,
+        q_us(&write_lat, 0.50),
+        q_us(&write_lat, 0.99),
+        q_us(&write_lat, 0.999),
+        q_us(&read_lat, 0.50),
+        q_us(&read_lat, 0.99),
+        q_us(&read_lat, 0.999),
         mode = if quick { "quick" } else { "full" },
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");

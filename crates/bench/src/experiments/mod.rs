@@ -13,6 +13,7 @@ pub mod sec7;
 pub mod tables;
 
 use strom_nic::{NicConfig, Testbed};
+use strom_telemetry::TelemetryReport;
 
 /// Experiment scale: `quick` keeps every run under a few seconds; `full`
 /// uses the paper's input sizes (Fig 11's gigabyte shuffles take a while).
@@ -73,7 +74,7 @@ impl FaultTotals {
             let s = tb.status(node);
             self.lost += s.frames_lost;
             self.crc_dropped += s.frames_crc_dropped;
-            self.parse_dropped += s.frames_dropped;
+            self.parse_dropped += s.frames_parse_dropped;
             self.reordered += s.frames_reordered;
             self.duplicated += s.frames_duplicated;
             self.retransmissions += s.retransmissions;
@@ -218,4 +219,32 @@ pub fn run_experiment(name: &str, scale: Scale) -> String {
         "abl-slow-kernel" => abl_slow_kernel::run(scale).render(),
         other => panic!("unknown experiment '{other}'"),
     }
+}
+
+/// Trace-ring capacity for telemetry-enabled experiment runs: large
+/// enough to retain the tail of a quick-scale latency sweep, bounded so
+/// a full-scale run stays in a few megabytes (older events are
+/// overwritten but still counted and fingerprinted).
+const TELEMETRY_TRACE_CAPACITY: usize = 1 << 14;
+
+/// Runs one experiment with tracing and metrics enabled, returning the
+/// rendered report plus its machine-readable telemetry.
+///
+/// Only experiments that drive a single instrumented testbed end to end
+/// are covered (the latency figures); multi-testbed sweeps and
+/// analytical tables return `None` and the `figures` binary falls back
+/// to [`run_experiment`].
+pub fn run_experiment_telemetry(name: &str, scale: Scale) -> Option<(String, TelemetryReport)> {
+    let (mut tb, title) = match name {
+        "fig5a" => (testbed_10g(), "Fig 5a (10G)"),
+        "fig12a" => (testbed_100g(), "Fig 12a (100G)"),
+        _ => return None,
+    };
+    let trace = tb.enable_tracing(TELEMETRY_TRACE_CAPACITY);
+    let metrics = tb.metrics().clone();
+    let rendered = fig5::latency(tb, scale, title).render();
+    let report = TelemetryReport::new(name)
+        .with_registry(&metrics)
+        .with_trace(&trace);
+    Some((rendered, report))
 }

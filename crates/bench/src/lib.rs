@@ -16,4 +16,4 @@
 pub mod experiments;
 pub mod micro;
 
-pub use experiments::{all_experiments, run_experiment, Scale};
+pub use experiments::{all_experiments, run_experiment, run_experiment_telemetry, Scale};

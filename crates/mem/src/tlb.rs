@@ -9,6 +9,8 @@
 //! splitting the command into multiple commands, none of them crossing
 //! page boundaries."
 
+use strom_telemetry::{TraceEvent, TraceSink};
+
 use crate::host::HUGE_PAGE_SIZE;
 
 /// Maximum number of TLB entries (16,384 × 2 MB = 32 GB).
@@ -69,12 +71,19 @@ impl std::error::Error for TlbError {}
 #[derive(Debug, Clone, Default)]
 pub struct Tlb {
     entries: std::collections::HashMap<u64, u64>,
+    trace: TraceSink,
 }
 
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a trace sink; successful command translations are emitted
+    /// to it with their segment counts.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Current number of entries.
@@ -138,6 +147,11 @@ impl Tlb {
             cur += seg_len;
             remaining -= seg_len;
         }
+        self.trace.emit(TraceEvent::TlbLookup {
+            vaddr,
+            len,
+            segments: out.len() as u32,
+        });
         Ok(out)
     }
 }

@@ -25,6 +25,7 @@
 use bytes::Bytes;
 
 use strom_proto::WorkRequest;
+use strom_telemetry::WireCounters;
 use strom_wire::bth::Qpn;
 use strom_wire::opcode::RpcOpCode;
 
@@ -192,25 +193,16 @@ impl CommandWord {
 
 /// The Controller's status registers — "the host can also retrieve status
 /// and performance metrics" (§4.3).
+///
+/// The wire-datapath counters live in the shared
+/// [`strom_telemetry::WireCounters`] struct (the same one the testbed
+/// nodes count into, so nothing is hand-mirrored); `Deref`/`DerefMut`
+/// expose its fields directly (`status.frames_rx`, etc.). The remaining
+/// fields are derived from protocol state at read time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatusRegisters {
-    /// Commands accepted from the host.
-    pub commands: u64,
-    /// Frames received (pre-parse).
-    pub frames_rx: u64,
-    /// Frames that failed structural parsing (malformed headers).
-    pub frames_dropped: u64,
-    /// Frames dropped because a checksum caught in-flight corruption
-    /// (ICRC over BTH+payload, or the IPv4 header checksum).
-    pub frames_crc_dropped: u64,
-    /// Frames the injected link fault model dropped outright.
-    pub frames_lost: u64,
-    /// Frames delivered out of order by the fault model's jitter.
-    pub frames_reordered: u64,
-    /// Frames delivered twice by the fault model.
-    pub frames_duplicated: u64,
-    /// Payload bytes written to host memory by WRITEs.
-    pub payload_bytes_rx: u64,
+    /// Wire datapath counters (commands, frames, drops, payload bytes).
+    pub wire: WireCounters,
     /// Packets retransmitted by the requester.
     pub retransmissions: u64,
     /// Retransmission-timer expirations.
@@ -223,6 +215,20 @@ pub struct StatusRegisters {
     pub kernel_invocations: u64,
     /// RPCs that matched no kernel.
     pub rpc_unmatched: u64,
+}
+
+impl std::ops::Deref for StatusRegisters {
+    type Target = WireCounters;
+
+    fn deref(&self) -> &WireCounters {
+        &self.wire
+    }
+}
+
+impl std::ops::DerefMut for StatusRegisters {
+    fn deref_mut(&mut self) -> &mut WireCounters {
+        &mut self.wire
+    }
 }
 
 #[cfg(test)]

@@ -34,9 +34,13 @@ use strom_proto::{
 };
 use strom_sim::time::{Time, TimeDelta};
 use strom_sim::{EventQueue, LinkSerializer, SimRng};
+use strom_telemetry::{
+    DropReason, HistogramHandle, MetricsRegistry, TraceEvent, TraceSink, WireCounters,
+};
 use strom_wire::bth::{Aeth, AethSyndrome, Psn, Qpn};
 use strom_wire::opcode::{Opcode, RpcOpCode};
 use strom_wire::packet::{Packet, PacketError};
+use strom_wire::pcap::PcapWriter;
 use strom_wire::segment::segment_message;
 
 use crate::config::NicConfig;
@@ -143,18 +147,9 @@ struct Node {
     kernel_occ: Vec<(RpcOpCode, LinkSerializer)>,
     /// CPU fallback handlers by RPC op-code (§5.1).
     fallbacks: Vec<(RpcOpCode, Box<dyn CpuFallback>)>,
-    // --- statistics ---
-    commands: u64,
-    frames_rx: u64,
-    frames_dropped_on_link: u64,
-    frames_parse_dropped: u64,
-    /// Frames a checksum (ICRC or IPv4 header) caught and dropped.
-    frames_crc_dropped: u64,
-    /// Frames toward this node delivered out of order by fault jitter.
-    frames_reordered: u64,
-    /// Frames toward this node delivered twice by the fault model.
-    frames_duplicated: u64,
-    payload_bytes_rx: u64,
+    /// Wire datapath statistics — the same struct [`Testbed::status`]
+    /// hands back, so nothing is hand-mirrored into the register view.
+    counters: WireCounters,
 }
 
 /// The simulated world: two nodes and the wire between them.
@@ -180,6 +175,36 @@ pub struct Testbed {
     last_arrival: [Time; 2],
     /// Reusable transmit frame buffers (zero-allocation steady state).
     pool: FramePool,
+    /// Testbed-level trace sink (disabled until [`Testbed::enable_tracing`]).
+    trace: TraceSink,
+    /// Shared metrics registry: completion-latency histograms and the
+    /// sim dispatch counter live here; experiments may add their own.
+    metrics: MetricsRegistry,
+    /// Completion-latency histogram handles, indexed by [`LatKind`].
+    lat: [HistogramHandle; 3],
+    /// Wire capture (disabled until [`Testbed::enable_capture`]).
+    capture: Option<PcapWriter>,
+    /// Post time and operation kind per (node, handle), consumed when the
+    /// work request completes to feed the latency histograms.
+    post_info: HashMap<(NodeId, u64), (Time, LatKind)>,
+}
+
+/// Work-request classes with separate completion-latency histograms.
+#[derive(Debug, Clone, Copy)]
+enum LatKind {
+    Write = 0,
+    Read = 1,
+    Rpc = 2,
+}
+
+impl LatKind {
+    fn of(wr: &WorkRequest) -> LatKind {
+        match wr {
+            WorkRequest::Read { .. } => LatKind::Read,
+            WorkRequest::Rpc { .. } | WorkRequest::RpcWrite { .. } => LatKind::Rpc,
+            WorkRequest::Write { .. } | WorkRequest::WriteInline { .. } => LatKind::Write,
+        }
+    }
 }
 
 impl Testbed {
@@ -202,15 +227,14 @@ impl Testbed {
             arp: strom_wire::arp::ArpCache::new(),
             kernel_occ: Vec::new(),
             fallbacks: Vec::new(),
-            commands: 0,
-            frames_rx: 0,
-            frames_dropped_on_link: 0,
-            frames_parse_dropped: 0,
-            frames_crc_dropped: 0,
-            frames_reordered: 0,
-            frames_duplicated: 0,
-            payload_bytes_rx: 0,
+            counters: WireCounters::default(),
         };
+        let metrics = MetricsRegistry::default();
+        let lat = [
+            metrics.histogram("latency.write_ps"),
+            metrics.histogram("latency.read_ps"),
+            metrics.histogram("latency.rpc_ps"),
+        ];
         Self {
             nodes: vec![node(cfg.seed ^ 0xA), node(cfg.seed ^ 0xB)],
             links: vec![
@@ -226,8 +250,61 @@ impl Testbed {
             watches: Vec::new(),
             last_arrival: [0, 0],
             pool: FramePool::default(),
+            trace: TraceSink::default(),
+            metrics,
+            lat,
+            capture: None,
+            post_info: HashMap::new(),
             cfg,
         }
+    }
+
+    /// Enables structured tracing with a bounded ring of `capacity`
+    /// records, threading the sink through every instrumented layer: the
+    /// event queue publishes the simulation clock to it, and the
+    /// requesters, retransmission timers, and TLBs of both nodes emit
+    /// into it alongside the testbed's own packet/DMA/kernel events.
+    /// Returns a handle to the sink (also available via [`Self::trace`]).
+    pub fn enable_tracing(&mut self, capacity: usize) -> TraceSink {
+        let sink = TraceSink::enabled(capacity);
+        self.queue.set_telemetry(
+            sink.clone(),
+            Some(self.metrics.counter("sim.events_dispatched")),
+        );
+        for n in &mut self.nodes {
+            n.requester.set_trace(sink.clone());
+            n.timer.set_trace(sink.clone());
+            n.tlb.set_trace(sink.clone());
+        }
+        self.trace = sink.clone();
+        sink
+    }
+
+    /// The testbed's trace sink (disabled unless
+    /// [`Self::enable_tracing`] was called).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The testbed's metrics registry (completion-latency histograms,
+    /// the sim dispatch counter, and anything experiments add).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Starts capturing every RoCE frame that reaches the wire into an
+    /// in-memory pcap file (nanosecond timestamps, Ethernet link type).
+    /// Frames the fault model drops outright are never encoded, so they
+    /// do not appear; corrupted frames appear as transmitted (post-flip).
+    /// ARP uses a bare 28-byte body in this model — not an Ethernet
+    /// frame — so bring-up traffic is not captured.
+    pub fn enable_capture(&mut self) {
+        self.capture = Some(PcapWriter::new());
+    }
+
+    /// The captured pcap file bytes, if [`Self::enable_capture`] is on.
+    pub fn pcap_bytes(&self) -> Option<&[u8]> {
+        self.capture.as_ref().map(|c| c.as_bytes())
     }
 
     /// The configuration in force.
@@ -282,12 +359,12 @@ impl Testbed {
 
     /// Frames dropped by injected link loss toward `node`.
     pub fn frames_lost(&self, node: NodeId) -> u64 {
-        self.nodes[node].frames_dropped_on_link
+        self.nodes[node].counters.frames_lost
     }
 
     /// Payload bytes delivered into `node`'s memory by WRITEs.
     pub fn payload_bytes_rx(&self, node: NodeId) -> u64 {
-        self.nodes[node].payload_bytes_rx
+        self.nodes[node].counters.payload_bytes_rx
     }
 
     /// Pins `len` bytes on `node` and installs the pages in the NIC TLB
@@ -347,6 +424,10 @@ impl Testbed {
         // queue: reuse CmdArrive with a marker is invasive; dispatch
         // directly with the right base time instead.
         if let Some(actions) = self.nodes[node].fabric.invoke(rpc_op, qpn, params) {
+            self.trace.emit(TraceEvent::KernelEnter {
+                node: node as u8,
+                op: rpc_op.0,
+            });
             self.exec_kernel_actions(node, rpc_op, actions, at);
         }
     }
@@ -427,7 +508,11 @@ impl Testbed {
         use strom_wire::ethernet::MacAddr;
         use strom_wire::ipv4::Ipv4Addr;
         let Some(pkt) = strom_wire::arp::ArpPacket::parse(frame) else {
-            self.nodes[node].frames_parse_dropped += 1;
+            self.nodes[node].counters.frames_parse_dropped += 1;
+            self.trace.emit(TraceEvent::PacketDrop {
+                node: node as u8,
+                reason: DropReason::Malformed,
+            });
             return;
         };
         let my_ip = Ipv4Addr::from_node_id(node as u8);
@@ -446,6 +531,8 @@ impl Testbed {
         let handle = self.next_handle;
         self.next_handle += 1;
         let now = self.queue.now();
+        self.post_info
+            .insert((node, handle), (now, LatKind::of(&wr)));
         let n = &mut self.nodes[node];
         let t_store = (now + self.cfg.host_post_overhead).max(n.next_cmd_issue);
         n.next_cmd_issue = t_store + self.cfg.pcie.cmd_issue_interval;
@@ -470,7 +557,7 @@ impl Testbed {
             // WriteInline has no doorbell form (NIC-internal only).
             None => wr,
         };
-        n.commands += 1;
+        n.counters.commands += 1;
         self.queue.schedule_at(
             arrive,
             Event::CmdArrive {
@@ -488,14 +575,7 @@ impl Testbed {
     pub fn status(&self, node: NodeId) -> crate::controller::StatusRegisters {
         let n = &self.nodes[node];
         crate::controller::StatusRegisters {
-            commands: n.commands,
-            frames_rx: n.frames_rx,
-            frames_dropped: n.frames_parse_dropped,
-            frames_crc_dropped: n.frames_crc_dropped,
-            frames_lost: n.frames_dropped_on_link,
-            frames_reordered: n.frames_reordered,
-            frames_duplicated: n.frames_duplicated,
-            payload_bytes_rx: n.payload_bytes_rx,
+            wire: n.counters,
             retransmissions: n.requester.retransmissions(),
             timeouts: n.timer.expirations(),
             backoff_events: n.timer.backoff_events(),
@@ -666,15 +746,14 @@ impl Testbed {
                 // The QP went terminal while the doorbell was in flight:
                 // complete immediately with an error instead of wedging
                 // the host, which may be blocked on this handle.
-                self.completions
-                    .insert((node, handle), (now, CompletionStatus::RetryExceeded));
+                self.finish_completion(node, handle, now, CompletionStatus::RetryExceeded);
             }
             Err(e) => panic!("post failed on node {node}: {e}"),
         }
     }
 
     fn on_frame(&mut self, node: NodeId, frame: Bytes, now: Time) {
-        self.nodes[node].frames_rx += 1;
+        self.nodes[node].counters.frames_rx += 1;
         let pkt = match Packet::parse(&frame) {
             Ok(p) => p,
             // A checksum catching in-flight corruption (ICRC over
@@ -682,16 +761,31 @@ impl Testbed {
             // loss the retransmission machinery recovers from; count it
             // separately from structurally malformed frames.
             Err(PacketError::Icrc | PacketError::Ip) => {
-                self.nodes[node].frames_crc_dropped += 1;
+                self.nodes[node].counters.frames_crc_dropped += 1;
+                self.trace.emit(TraceEvent::PacketDrop {
+                    node: node as u8,
+                    reason: DropReason::Corruption,
+                });
                 self.pool.put(frame);
                 return;
             }
             Err(_) => {
-                self.nodes[node].frames_parse_dropped += 1;
+                self.nodes[node].counters.frames_parse_dropped += 1;
+                self.trace.emit(TraceEvent::PacketDrop {
+                    node: node as u8,
+                    reason: DropReason::Malformed,
+                });
                 self.pool.put(frame);
                 return;
             }
         };
+        self.trace.emit(TraceEvent::PacketRx {
+            node: node as u8,
+            opcode: pkt.opcode() as u8,
+            qpn: pkt.bth.dest_qp,
+            psn: pkt.bth.psn,
+            payload_len: pkt.payload.len() as u32,
+        });
         match pkt.opcode() {
             Opcode::Acknowledge => {
                 let aeth = pkt.aeth.expect("ACK carries an AETH");
@@ -835,7 +929,7 @@ impl Testbed {
         for action in actions {
             match action {
                 ResponderAction::WritePayload { vaddr, data } => {
-                    self.nodes[node].payload_bytes_rx += data.len() as u64;
+                    self.nodes[node].counters.payload_bytes_rx += data.len() as u64;
                     self.schedule_dma_write(
                         node,
                         vaddr,
@@ -878,7 +972,13 @@ impl Testbed {
                 } => {
                     let at = now + self.cfg.kernel_dispatch_time();
                     match self.nodes[node].fabric.invoke(rpc_op, qpn, params.clone()) {
-                        Some(actions) => self.exec_kernel_actions(node, rpc_op, actions, at),
+                        Some(actions) => {
+                            self.trace.emit(TraceEvent::KernelEnter {
+                                node: node as u8,
+                                op: rpc_op.0,
+                            });
+                            self.exec_kernel_actions(node, rpc_op, actions, at)
+                        }
                         None => {
                             // No kernel matched: try the CPU fallback
                             // (§5.1), else NAK so the requester observes
@@ -967,6 +1067,10 @@ impl Testbed {
                     }
                 }
                 KernelAction::Done => {
+                    self.trace.emit(TraceEvent::KernelExit {
+                        node: node as u8,
+                        op: op.0,
+                    });
                     let next = self.nodes[node].fabric.done(op);
                     if !next.is_empty() {
                         self.exec_kernel_actions(node, op, next, now);
@@ -1111,6 +1215,13 @@ impl Testbed {
             self.nodes[node].timer.arm(qpn, wire_end);
             self.schedule_check(node);
         }
+        self.trace.emit(TraceEvent::PacketTx {
+            node: node as u8,
+            opcode: pkt.opcode() as u8,
+            qpn,
+            psn: pkt.bth.psn,
+            wire_bytes: wire_bytes as u32,
+        });
         let peer = 1 - node;
         // Fault pipeline, in wire order: a frame is first subject to loss,
         // then (if it survives) to corruption, reordering, and
@@ -1118,7 +1229,11 @@ impl Testbed {
         // order, so a chaos run replays exactly from (seed, fault model).
         let fault = self.cfg.fault;
         if fault.should_drop(&mut self.fault_state[node], &mut self.rng) {
-            self.nodes[peer].frames_dropped_on_link += 1;
+            self.nodes[peer].counters.frames_lost += 1;
+            self.trace.emit(TraceEvent::PacketDrop {
+                node: peer as u8,
+                reason: DropReason::Loss,
+            });
             return;
         }
         let arrival = (wire_end
@@ -1139,6 +1254,11 @@ impl Testbed {
             fault::flip_random_bit(&mut buf, &mut self.rng);
         }
         let frame = Bytes::from(buf);
+        if let Some(cap) = &mut self.capture {
+            // Captured as it leaves the wire (post-corruption), stamped
+            // with the serialization end time.
+            cap.record(wire_end, &frame);
+        }
         let arrival = match if fault.reorder_rate > 0.0 {
             fault.reorder_delay(&mut self.rng)
         } else {
@@ -1148,7 +1268,7 @@ impl Testbed {
                 // Held back by jitter — and deliberately NOT recorded in
                 // last_arrival, so frames behind it overtake it (the FIFO
                 // clamp is what normally forbids that).
-                self.nodes[peer].frames_reordered += 1;
+                self.nodes[peer].counters.frames_reordered += 1;
                 arrival + jitter
             }
             None => {
@@ -1157,7 +1277,7 @@ impl Testbed {
             }
         };
         if fault.duplicate_rate > 0.0 && fault.should_duplicate(&mut self.rng) {
-            self.nodes[peer].frames_duplicated += 1;
+            self.nodes[peer].counters.frames_duplicated += 1;
             self.queue.schedule_at(
                 arrival + self.cfg.clock.period_ps(),
                 Event::FrameArrive {
@@ -1175,6 +1295,11 @@ impl Testbed {
     /// Reads bytes from host memory through the TLB (the DMA engine's
     /// path), splitting at page boundaries.
     fn dma_read_bytes(&mut self, node: NodeId, vaddr: u64, len: u32) -> Bytes {
+        self.trace.emit(TraceEvent::DmaRead {
+            node: node as u8,
+            vaddr,
+            len,
+        });
         let segs = self.nodes[node]
             .tlb
             .translate_command(vaddr, len)
@@ -1202,6 +1327,11 @@ impl Testbed {
         now: Time,
         overhead: Time,
     ) -> Time {
+        self.trace.emit(TraceEvent::DmaWrite {
+            node: node as u8,
+            vaddr,
+            len: data.len() as u32,
+        });
         let (_, occ_end) =
             self.nodes[node]
                 .dma
@@ -1304,7 +1434,17 @@ impl Testbed {
 
     fn record_completion(&mut self, node: NodeId, c: &strom_proto::Completion, at: Time) {
         if let Some(handle) = self.wr_map.remove(&(node, c.wr_id)) {
-            self.completions.insert((node, handle), (at, c.status));
+            self.finish_completion(node, handle, at, c.status);
+        }
+    }
+
+    /// Records a work request's outcome and feeds its post-to-completion
+    /// latency into the per-kind histogram. Every completion path funnels
+    /// through here, so the histograms and the `completions` map agree.
+    fn finish_completion(&mut self, node: NodeId, handle: u64, at: Time, status: CompletionStatus) {
+        self.completions.insert((node, handle), (at, status));
+        if let Some((posted, kind)) = self.post_info.remove(&(node, handle)) {
+            self.lat[kind as usize].record(at.saturating_sub(posted));
         }
     }
 

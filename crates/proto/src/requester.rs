@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 
+use strom_telemetry::{QpState, TraceEvent, TraceSink};
 use strom_wire::bth::{Aeth, AethSyndrome, Psn, Qpn, Reth};
 use strom_wire::opcode::{Opcode, RpcOpCode};
 use strom_wire::segment::segment_message;
@@ -227,6 +228,7 @@ pub struct Requester {
     max_payload: usize,
     next_wr_id: u64,
     retransmissions: u64,
+    trace: TraceSink,
 }
 
 impl Requester {
@@ -240,7 +242,14 @@ impl Requester {
             max_payload,
             next_wr_id: 1,
             retransmissions: 0,
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Attaches a trace sink; QP error transitions and retransmission
+    /// batches are emitted to it.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Total retransmitted packets (diagnostics for the loss experiments).
@@ -572,6 +581,13 @@ impl Requester {
         let Some(qp) = self.qps.get_mut(qpn as usize) else {
             return Vec::new();
         };
+        if !qp.errored {
+            self.trace.emit(TraceEvent::QpTransition {
+                qpn,
+                from: QpState::Ready,
+                to: QpState::Error,
+            });
+        }
         qp.errored = true;
         let mut out = Vec::new();
         // Unacknowledged messages, in post order. Reads are skipped here —
@@ -619,6 +635,12 @@ impl Requester {
             }
         }
         self.retransmissions += out.len() as u64;
+        if !out.is_empty() {
+            self.trace.emit(TraceEvent::Retransmit {
+                qpn,
+                packets: out.len() as u32,
+            });
+        }
         out
     }
 }

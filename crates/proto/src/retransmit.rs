@@ -13,6 +13,7 @@
 //! deadline has passed). Timer values are opaque ticks — the NIC
 //! simulation feeds it simulated time.
 
+use strom_telemetry::{TraceEvent, TraceSink};
 use strom_wire::bth::Qpn;
 
 /// Per-QP retransmission timers over an opaque monotonic tick domain.
@@ -36,6 +37,8 @@ pub struct RetransmissionTimer {
     expirations: u64,
     /// Expirations that re-armed with a backed-off (doubled+) timeout.
     backoff_events: u64,
+    /// Trace sink for backoff events (disabled by default).
+    trace: TraceSink,
 }
 
 impl RetransmissionTimer {
@@ -54,7 +57,13 @@ impl RetransmissionTimer {
             backoff_cap: 6,
             expirations: 0,
             backoff_events: 0,
+            trace: TraceSink::default(),
         }
+    }
+
+    /// Attaches a trace sink; backed-off expirations are emitted to it.
+    pub fn set_trace(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Sets the cap on the exponential-backoff shift (builder style).
@@ -138,6 +147,18 @@ impl RetransmissionTimer {
                         self.backoff_events += 1;
                     }
                     self.attempts[qpn] = self.attempts[qpn].saturating_add(1);
+                    let attempts = self.attempts[qpn];
+                    if attempts > 1 {
+                        // The re-arm timeout after this expiration, with
+                        // the backoff shift applied (current_timeout,
+                        // inlined to keep the borrow local).
+                        let shift = attempts.min(self.backoff_cap);
+                        self.trace.emit(TraceEvent::Backoff {
+                            qpn: qpn as Qpn,
+                            attempts,
+                            timeout: self.timeout << shift,
+                        });
+                    }
                     out.push(qpn as Qpn);
                 }
             }
@@ -254,6 +275,36 @@ mod tests {
         assert_eq!(t.attempts(0), 6);
         // First expiration is not a backoff event; the rest are.
         assert_eq!(t.backoff_events(), 5);
+    }
+
+    #[test]
+    fn backoff_expirations_are_traced() {
+        let sink = TraceSink::enabled(16);
+        let mut t = RetransmissionTimer::new(2, 10).with_backoff_cap(3);
+        t.set_trace(sink.clone());
+        let mut now = 0u64;
+        for want in [10u64, 20, 40] {
+            t.arm(0, now);
+            now += want;
+            assert_eq!(t.expired(now), vec![0]);
+        }
+        // The first expiration is not a backoff; the next two are.
+        let backoffs: Vec<_> = sink.records().into_iter().map(|r| r.event).collect();
+        assert_eq!(
+            backoffs,
+            vec![
+                TraceEvent::Backoff {
+                    qpn: 0,
+                    attempts: 2,
+                    timeout: 40
+                },
+                TraceEvent::Backoff {
+                    qpn: 0,
+                    attempts: 3,
+                    timeout: 80
+                },
+            ]
+        );
     }
 
     #[test]

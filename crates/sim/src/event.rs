@@ -7,6 +7,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use strom_telemetry::{Counter, TraceSink};
+
 use crate::time::{Time, TimeDelta};
 
 /// An event together with its firing time and a tie-breaking sequence number.
@@ -62,6 +64,8 @@ pub struct EventQueue<E> {
     now: Time,
     seq: u64,
     processed: u64,
+    trace: TraceSink,
+    dispatched: Option<Counter>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -78,7 +82,19 @@ impl<E> EventQueue<E> {
             now: 0,
             seq: 0,
             processed: 0,
+            trace: TraceSink::default(),
+            dispatched: None,
         }
+    }
+
+    /// Attaches telemetry: the queue publishes its clock to `trace` on every
+    /// pop/advance (so instrumented components can stamp events with sim
+    /// time without holding a clock reference) and counts dispatched events
+    /// on `dispatched`. Either may be disabled/`None`.
+    pub fn set_telemetry(&mut self, trace: TraceSink, dispatched: Option<Counter>) {
+        trace.set_now(self.now);
+        self.trace = trace;
+        self.dispatched = dispatched;
     }
 
     /// The current simulated time (the firing time of the last popped event).
@@ -126,6 +142,10 @@ impl<E> EventQueue<E> {
         let s = self.heap.pop()?;
         self.now = self.now.max(s.at);
         self.processed += 1;
+        self.trace.set_now(self.now);
+        if let Some(c) = &self.dispatched {
+            c.inc();
+        }
         Some(s)
     }
 
@@ -134,6 +154,7 @@ impl<E> EventQueue<E> {
     /// CRC64 pass). Never moves the clock backwards.
     pub fn advance_to(&mut self, t: Time) {
         self.now = self.now.max(t);
+        self.trace.set_now(self.now);
     }
 
     /// The firing time of the earliest pending event, if any.
@@ -189,6 +210,23 @@ mod tests {
         q.pop();
         q.schedule_in(25, "second");
         assert_eq!(q.pop().unwrap().at, 125);
+    }
+
+    #[test]
+    fn telemetry_hook_publishes_clock_and_counts_dispatches() {
+        let mut q = EventQueue::new();
+        let trace = TraceSink::enabled(8);
+        let dispatched = Counter::default();
+        q.set_telemetry(trace.clone(), Some(dispatched.clone()));
+        q.schedule_at(40, ());
+        q.schedule_at(90, ());
+        q.pop();
+        assert_eq!(trace.now(), 40);
+        q.advance_to(70);
+        assert_eq!(trace.now(), 70);
+        q.pop();
+        assert_eq!(trace.now(), 90);
+        assert_eq!(dispatched.get(), 2);
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod icrc;
 pub mod ipv4;
 pub mod opcode;
 pub mod packet;
+pub mod pcap;
 pub mod segment;
 pub mod udp;
 
@@ -27,6 +28,7 @@ pub use ethernet::{EtherType, MacAddr, ETHERNET_HEADER_LEN, ETHERNET_MIN_FRAME};
 pub use ipv4::{Ipv4Addr, Ipv4Header, IPV4_HEADER_LEN};
 pub use opcode::{Opcode, RpcOpCode};
 pub use packet::{Packet, PacketError};
+pub use pcap::PcapWriter;
 pub use segment::{segment_message, SegmentKind};
 pub use udp::{UdpHeader, ROCE_V2_PORT, UDP_HEADER_LEN};
 

@@ -1,0 +1,176 @@
+//! pcap export of captured frames, for offline inspection with standard
+//! tooling (tcpdump, Wireshark, tshark).
+//!
+//! Writes the classic libpcap format with the nanosecond-resolution magic
+//! (`0xa1b23c4d`) — the simulation clock is picoseconds, so nanosecond
+//! records lose only sub-nanosecond digits — and link type 1
+//! (LINKTYPE_ETHERNET), matching the raw Ethernet frames the testbed
+//! puts on the wire. A minimal reader ([`read_frames`]) round-trips the
+//! format for the golden-file tests.
+
+/// Nanosecond-resolution pcap magic number (host-endian; we write LE).
+pub const PCAP_MAGIC_NS: u32 = 0xa1b2_3c4d;
+
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Length of the pcap global header.
+pub const PCAP_HEADER_LEN: usize = 24;
+
+/// Length of each per-record header.
+pub const PCAP_RECORD_HEADER_LEN: usize = 16;
+
+/// Picoseconds per second (the simulation clock unit).
+const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// An in-memory pcap file accumulating captured frames.
+///
+/// # Examples
+///
+/// ```
+/// use strom_wire::pcap::{read_frames, PcapWriter};
+/// let mut w = PcapWriter::new();
+/// w.record(1_500_000, &[0xde, 0xad, 0xbe, 0xef]);
+/// let frames = read_frames(w.as_bytes()).unwrap();
+/// assert_eq!(frames, vec![(1_500, vec![0xde, 0xad, 0xbe, 0xef])]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    frames: u32,
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcapWriter {
+    /// A pcap file containing only the global header.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&PCAP_MAGIC_NS.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes()); // version major
+        buf.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&65_535u32.to_le_bytes()); // snaplen
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        Self { buf, frames: 0 }
+    }
+
+    /// Appends one frame captured at simulated time `at_ps` (picoseconds;
+    /// truncated to nanosecond record resolution).
+    pub fn record(&mut self, at_ps: u64, frame: &[u8]) {
+        let ts_sec = (at_ps / PS_PER_SEC) as u32;
+        let ts_nsec = ((at_ps % PS_PER_SEC) / 1_000) as u32;
+        self.buf.extend_from_slice(&ts_sec.to_le_bytes());
+        self.buf.extend_from_slice(&ts_nsec.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(frame);
+        self.frames += 1;
+    }
+
+    /// Frames recorded so far.
+    pub fn frames(&self) -> u32 {
+        self.frames
+    }
+
+    /// The pcap file bytes accumulated so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the pcap file bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Parses a nanosecond-resolution Ethernet pcap file produced by
+/// [`PcapWriter`], returning `(timestamp_ns, frame)` per record.
+///
+/// Returns `None` on a bad magic, wrong link type, or truncated record.
+pub fn read_frames(bytes: &[u8]) -> Option<Vec<(u64, Vec<u8>)>> {
+    if bytes.len() < PCAP_HEADER_LEN {
+        return None;
+    }
+    let word = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("sized"));
+    if word(0) != PCAP_MAGIC_NS || word(20) != LINKTYPE_ETHERNET {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut off = PCAP_HEADER_LEN;
+    while off < bytes.len() {
+        if bytes.len() - off < PCAP_RECORD_HEADER_LEN {
+            return None;
+        }
+        let ts_sec = u64::from(word(off));
+        let ts_nsec = u64::from(word(off + 4));
+        let incl = word(off + 8) as usize;
+        off += PCAP_RECORD_HEADER_LEN;
+        if bytes.len() - off < incl {
+            return None;
+        }
+        out.push((
+            ts_sec * 1_000_000_000 + ts_nsec,
+            bytes[off..off + incl].to_vec(),
+        ));
+        off += incl;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_header_layout() {
+        let w = PcapWriter::new();
+        let b = w.as_bytes();
+        assert_eq!(b.len(), PCAP_HEADER_LEN);
+        assert_eq!(&b[0..4], &PCAP_MAGIC_NS.to_le_bytes());
+        assert_eq!(&b[4..6], &[2, 0], "version 2.4");
+        assert_eq!(&b[6..8], &[4, 0]);
+        assert_eq!(&b[20..24], &LINKTYPE_ETHERNET.to_le_bytes());
+        assert_eq!(w.frames(), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_with_nanosecond_timestamps() {
+        let mut w = PcapWriter::new();
+        // 2.5 µs and one full second plus 999,999,999.5 ns (sub-ns digits
+        // truncate).
+        w.record(2_500_000, b"abc");
+        w.record(PS_PER_SEC + 999_999_999_500, &[0u8; 60]);
+        assert_eq!(w.frames(), 2);
+        let frames = read_frames(w.as_bytes()).unwrap();
+        assert_eq!(frames[0], (2_500, b"abc".to_vec()));
+        assert_eq!(frames[1], (1_999_999_999, vec![0u8; 60]));
+    }
+
+    #[test]
+    fn empty_capture_round_trips() {
+        assert_eq!(read_frames(PcapWriter::new().as_bytes()), Some(vec![]));
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let mut w = PcapWriter::new();
+        w.record(0, b"xyz");
+        let good = w.into_bytes();
+        assert!(read_frames(&good[..10]).is_none(), "truncated header");
+        assert!(
+            read_frames(&good[..good.len() - 1]).is_none(),
+            "truncated record"
+        );
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(read_frames(&bad_magic).is_none());
+    }
+}

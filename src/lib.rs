@@ -13,6 +13,7 @@
 //! - [`nic`] — the full two-node NIC testbed and host API.
 //! - [`baselines`] — CPU/TCP baselines the paper compares against.
 //! - [`resources`] — FPGA resource-usage model (Table 3, §6.1).
+//! - [`telemetry`] — tracing, metrics registry, and JSON report export.
 pub use strom_baselines as baselines;
 pub use strom_kernels as kernels;
 pub use strom_mem as mem;
@@ -20,4 +21,5 @@ pub use strom_nic as nic;
 pub use strom_proto as proto;
 pub use strom_resources as resources;
 pub use strom_sim as sim;
+pub use strom_telemetry as telemetry;
 pub use strom_wire as wire;

@@ -73,7 +73,7 @@ fn status_registers_track_activity() {
     assert!(client.frames_rx >= 3, "at least one ACK per write");
     assert_eq!(server.payload_bytes_rx, 30_000);
     assert_eq!(client.retransmissions, 0);
-    assert_eq!(server.frames_dropped, 0);
+    assert_eq!(server.frames_parse_dropped, 0);
     assert_eq!(server.kernel_invocations, 0);
 }
 

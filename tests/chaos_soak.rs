@@ -21,6 +21,7 @@ use strom::nic::{
 };
 use strom::sim::time::MICROS;
 use strom::sim::{default_workers, parallel_map, SimRng};
+use strom::telemetry::{MetricsSnapshot, TraceRecord};
 
 const CLIENT: usize = 0;
 const SERVER: usize = 1;
@@ -52,6 +53,14 @@ fn rand_ops(rng: &mut SimRng, max: u64) -> Vec<Op> {
         .collect()
 }
 
+/// The trace stream a traced chaos run produced.
+#[derive(Debug, PartialEq)]
+struct ChaosTrace {
+    fingerprint: u64,
+    emitted: u64,
+    records: Vec<TraceRecord>,
+}
+
 /// Everything a chaos run observed, for determinism comparisons.
 #[derive(Debug, PartialEq)]
 struct ChaosOutcome {
@@ -59,14 +68,27 @@ struct ChaosOutcome {
     local_image: Vec<u8>,
     retransmissions: u64,
     status: [StatusRegisters; 2],
+    /// Completion-latency histograms and dispatch counters.
+    metrics: MetricsSnapshot,
+    /// `Some` when the run was traced (`trace_capacity` was set).
+    trace: Option<ChaosTrace>,
 }
 
 /// Drives a mixed WRITE/READ workload under `model`, checking the
-/// robustness contract; returns the observables.
-fn run_chaos_ops(ops: &[Op], model: LinkFaultModel, seed: u64) -> ChaosOutcome {
+/// robustness contract; returns the observables. `trace_capacity`
+/// enables the structured trace ring for the run.
+fn run_chaos_ops(
+    ops: &[Op],
+    model: LinkFaultModel,
+    seed: u64,
+    trace_capacity: Option<usize>,
+) -> ChaosOutcome {
     let mut cfg = NicConfig::ten_gig();
     cfg.seed = seed;
     let mut tb = Testbed::new(cfg);
+    if let Some(capacity) = trace_capacity {
+        tb.enable_tracing(capacity);
+    }
     tb.connect_qp(QP);
     tb.set_fault_model(model);
     let a = tb.pin(CLIENT, 4 << 20);
@@ -118,11 +140,18 @@ fn run_chaos_ops(ops: &[Op], model: LinkFaultModel, seed: u64) -> ChaosOutcome {
         !tb.qp_errored(CLIENT, QP),
         "seed {seed}: survivable fault schedule exhausted the retry budget"
     );
+    let trace = trace_capacity.map(|_| ChaosTrace {
+        fingerprint: tb.trace().fingerprint(),
+        emitted: tb.trace().emitted(),
+        records: tb.trace().records(),
+    });
     ChaosOutcome {
         remote_image: tb.mem(SERVER).read(b + (2 << 20), 2 << 20),
         local_image: tb.mem(CLIENT).read(a + (2 << 20), 2 << 20),
         retransmissions: tb.retransmissions(CLIENT),
         status: [tb.status(CLIENT), tb.status(SERVER)],
+        metrics: tb.metrics().snapshot(),
+        trace,
     }
 }
 
@@ -167,7 +196,7 @@ fn chaos_soak_data_plane_survives_composed_faults() {
         let model = chaos_model(seed);
         assert!(active_fault_types(&model) >= 2, "seed {seed}: {model:?}");
         let ops = rand_ops(&mut SimRng::seed(seed ^ 0x0b5), 7);
-        let outcome = run_chaos_ops(&ops, model, seed);
+        let outcome = run_chaos_ops(&ops, model, seed, None);
         let (want_remote, want_local) = run_reference(&ops, seed);
         assert_eq!(
             outcome.remote_image, want_remote,
@@ -218,9 +247,53 @@ fn chaos_runs_are_bit_identical_for_identical_seeds() {
     for seed in [3u64, 11, 17, 23] {
         let model = chaos_model(seed);
         let ops = rand_ops(&mut SimRng::seed(seed ^ 0x0b5), 7);
-        let first = run_chaos_ops(&ops, model, seed);
-        let second = run_chaos_ops(&ops, model, seed);
+        let first = run_chaos_ops(&ops, model, seed, None);
+        let second = run_chaos_ops(&ops, model, seed, None);
         assert_eq!(first, second, "seed {seed}: chaos run is not reproducible");
+    }
+}
+
+/// Telemetry determinism: two traced same-seed runs produce identical
+/// trace streams (record-for-record, plus the FNV fingerprint over the
+/// full emission history) and identical histogram buckets — and turning
+/// tracing ON does not perturb the simulation itself.
+#[test]
+fn traced_chaos_runs_emit_identical_telemetry() {
+    for seed in [2u64, 13, 21] {
+        let model = chaos_model(seed);
+        let ops = rand_ops(&mut SimRng::seed(seed ^ 0x0b5), 7);
+        let untraced = run_chaos_ops(&ops, model, seed, None);
+        let first = run_chaos_ops(&ops, model, seed, Some(1 << 15));
+        let second = run_chaos_ops(&ops, model, seed, Some(1 << 15));
+
+        // Identical trace streams and histogram buckets across reruns.
+        assert_eq!(first, second, "seed {seed}: traced run is not reproducible");
+        let trace = first.trace.as_ref().expect("tracing was enabled");
+        assert!(
+            trace.emitted > 0,
+            "seed {seed}: a chaos run must emit trace events"
+        );
+        assert_eq!(
+            trace.fingerprint,
+            second.trace.as_ref().unwrap().fingerprint,
+            "seed {seed}"
+        );
+
+        // Tracing must be observation-only: every simulation observable
+        // matches the untraced run. (The metrics snapshots differ only by
+        // the dispatch counter tracing registers, so compare the rest
+        // field by field.)
+        assert_eq!(first.remote_image, untraced.remote_image, "seed {seed}");
+        assert_eq!(first.local_image, untraced.local_image, "seed {seed}");
+        assert_eq!(
+            first.retransmissions, untraced.retransmissions,
+            "seed {seed}"
+        );
+        assert_eq!(first.status, untraced.status, "seed {seed}");
+        assert_eq!(
+            first.metrics.histograms, untraced.metrics.histograms,
+            "seed {seed}: tracing changed a latency histogram"
+        );
     }
 }
 
@@ -232,7 +305,7 @@ fn parallel_soak_is_bit_identical_to_sequential() {
     let run = |seed: u64| {
         let model = chaos_model(seed);
         let ops = rand_ops(&mut SimRng::seed(seed ^ 0x0b5), 7);
-        run_chaos_ops(&ops, model, seed)
+        run_chaos_ops(&ops, model, seed, None)
     };
     let seeds: Vec<u64> = (0..8).collect();
     let sequential: Vec<ChaosOutcome> = seeds.iter().map(|&s| run(s)).collect();

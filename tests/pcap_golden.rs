@@ -1,0 +1,94 @@
+//! Golden-file test for the pcap exporter: a short, fully deterministic
+//! READ/WRITE exchange must capture byte-identically to the checked-in
+//! fixture, and every captured frame must round-trip through
+//! [`Packet::parse`].
+//!
+//! Regenerate the fixture after an intentional wire-format or timing
+//! change with:
+//!
+//! ```text
+//! STROM_BLESS=1 cargo test --test pcap_golden
+//! ```
+
+use strom::nic::{NicConfig, Testbed};
+use strom::proto::WorkRequest;
+use strom::wire::packet::Packet;
+use strom::wire::pcap;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/short_exchange.pcap"
+);
+
+/// Runs the canonical short exchange — one 256 B WRITE then one 512 B
+/// READ on a 10G testbed — and returns the captured pcap bytes.
+fn capture_short_exchange() -> Vec<u8> {
+    let mut tb = Testbed::new(NicConfig::ten_gig());
+    tb.connect_qp(1);
+    tb.enable_capture();
+    let local = tb.pin(0, 1 << 21);
+    let remote = tb.pin(1, 1 << 21);
+    let data: Vec<u8> = (0..512u32).map(|i| (i % 253) as u8).collect();
+    tb.mem(0).write(local, &data[..256]);
+    tb.mem(1).write(remote + 1024, &data);
+    let w = tb.post(
+        0,
+        1,
+        WorkRequest::Write {
+            remote_vaddr: remote,
+            local_vaddr: local,
+            len: 256,
+        },
+    );
+    tb.run_until_complete(0, w);
+    let r = tb.post(
+        0,
+        1,
+        WorkRequest::Read {
+            remote_vaddr: remote + 1024,
+            local_vaddr: local + 1024,
+            len: 512,
+        },
+    );
+    tb.run_until_complete(0, r);
+    tb.run_until_idle();
+    tb.pcap_bytes().expect("capture enabled").to_vec()
+}
+
+#[test]
+fn short_exchange_matches_golden_fixture() {
+    let got = capture_short_exchange();
+    if std::env::var_os("STROM_BLESS").is_some() {
+        std::fs::write(FIXTURE, &got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read(FIXTURE)
+        .expect("fixture missing — regenerate with STROM_BLESS=1 cargo test --test pcap_golden");
+    assert_eq!(
+        got, want,
+        "pcap capture diverged from the golden fixture; if the wire \
+         format or timing model changed intentionally, re-bless with \
+         STROM_BLESS=1"
+    );
+}
+
+#[test]
+fn captured_frames_parse_and_round_trip() {
+    let bytes = capture_short_exchange();
+    let frames = pcap::read_frames(&bytes).expect("valid pcap");
+    // WRITE (1 pkt + ACK) and READ (request + response) both directions:
+    // at least four frames cross the wire.
+    assert!(frames.len() >= 4, "only {} frames captured", frames.len());
+    let mut last_ts = 0u64;
+    for (ts, frame) in &frames {
+        assert!(*ts >= last_ts, "capture timestamps must be monotonic");
+        last_ts = *ts;
+        let frame_bytes = bytes::Bytes::from(frame.clone());
+        let pkt = Packet::parse(&frame_bytes).expect("captured frame parses");
+        assert_eq!(
+            &pkt.encode(),
+            frame,
+            "re-encoding the parsed packet must reproduce the frame"
+        );
+    }
+}
