@@ -19,7 +19,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use strom_bench::micro::{bb, bench};
 use strom_nic::{chaos_model, NicConfig, Testbed, WorkRequest};
-use strom_sim::{parallel_map, SimRng};
+use strom_sim::{parallel_map, EventQueue, ReferenceEventQueue, SimRng};
 use strom_telemetry::{Histogram, TraceEvent, TraceSink};
 use strom_wire::bth::Reth;
 use strom_wire::icrc;
@@ -113,6 +113,91 @@ fn soak_one(seed: u64, ops: u64, trace_capacity: Option<usize>) -> SoakResult {
     }
 }
 
+/// Payload sized like the testbed's `Event` cap: with the `(at, seq)`
+/// envelope a `Scheduled<EnginePayload>` is as big as a scheduled
+/// simulation event, so the engines pay realistic move costs.
+#[derive(Debug, Clone, Copy)]
+struct EnginePayload([u64; 7]);
+
+/// The event-engine API surface the churn loop needs, so the wheel-backed
+/// queue and the reference heap run the exact same workload.
+trait Engine {
+    fn schedule_at(&mut self, at: u64, p: EnginePayload);
+    fn pop_one(&mut self) -> Option<(u64, u64, u64)>;
+}
+
+impl Engine for EventQueue<EnginePayload> {
+    fn schedule_at(&mut self, at: u64, p: EnginePayload) {
+        EventQueue::schedule_at(self, at, p);
+    }
+    fn pop_one(&mut self) -> Option<(u64, u64, u64)> {
+        self.pop().map(|s| (s.at, s.seq, s.event.0[0]))
+    }
+}
+
+impl Engine for ReferenceEventQueue<EnginePayload> {
+    fn schedule_at(&mut self, at: u64, p: EnginePayload) {
+        ReferenceEventQueue::schedule_at(self, at, p);
+    }
+    fn pop_one(&mut self) -> Option<(u64, u64, u64)> {
+        self.pop().map(|s| (s.at, s.seq, s.event.0[0]))
+    }
+}
+
+/// Delta to the next scheduled event, shaped like the testbed's mix:
+/// mostly sub-2 µs pipeline/link hops, some 2 µs–200 µs timer-scale
+/// waits, and a thin 1 s–10 s tail that exercises the overflow heap.
+fn engine_delta(rng: &mut SimRng) -> u64 {
+    match rng.below(100) {
+        0 => rng.range(1_000_000_000, 10_000_000_000),
+        1..=9 => rng.range(2_000_000, 200_000_000),
+        _ => rng.range(100, 2_000_000),
+    }
+}
+
+/// Hold-depth-constant churn: prefill from `prefill`, then one
+/// pop-one / schedule-one round per delta in `churn` (deltas are
+/// precomputed so the timed loop measures the engine, not the RNG).
+/// Returns (events/sec, FNV fingerprint of the popped `(at, seq,
+/// payload)` stream) — the same deltas on both engines must give the
+/// same fingerprint, which is the differential check.
+fn engine_churn<Q: Engine>(q: &mut Q, prefill: &[u64], churn: &[u64]) -> (f64, u64) {
+    fn mix(fp: &mut u64, v: u64) {
+        *fp = (*fp ^ v).wrapping_mul(0x100_0000_01b3);
+    }
+    for (i, &at) in prefill.iter().enumerate() {
+        q.schedule_at(at, EnginePayload([i as u64; 7]));
+    }
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    let t = Instant::now();
+    for (i, &delta) in churn.iter().enumerate() {
+        let (at, seq, word) = q.pop_one().expect("churn holds depth constant");
+        mix(&mut fp, at);
+        mix(&mut fp, seq);
+        mix(&mut fp, word);
+        q.schedule_at(at + delta, EnginePayload([i as u64 ^ at; 7]));
+    }
+    (churn.len() as f64 / t.elapsed().as_secs_f64(), fp)
+}
+
+/// Best-of-3 churn for one engine over one workload (fresh queue per
+/// run; the best run is the least scheduler-perturbed one).
+fn engine_bench<Q: Engine>(make: impl Fn() -> Q, prefill: &[u64], churn: &[u64]) -> (f64, u64) {
+    let mut best = (0.0f64, 0u64);
+    for run in 0..3 {
+        let (eps, fp) = engine_churn(&mut make(), prefill, churn);
+        if run == 0 || eps > best.0 {
+            best.0 = eps;
+        }
+        if run == 0 {
+            best.1 = fp;
+        } else {
+            assert_eq!(fp, best.1, "same deltas must give the same stream");
+        }
+    }
+    best
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (soak_seeds, soak_ops) = if quick { (4u64, 4u64) } else { (24, 10) };
@@ -159,6 +244,39 @@ fn main() {
         bb(&sink_on)
     });
 
+    println!("== event engine churn, wheel vs reference heap ==");
+    let depths: &[u64] = if quick {
+        &[100, 10_000]
+    } else {
+        &[100, 1_000, 10_000, 100_000, 1_000_000]
+    };
+    let churn_ops: u64 = if quick { 60_000 } else { 300_000 };
+    let mut sim_wheel_eps = Vec::new();
+    let mut sim_heap_eps = Vec::new();
+    for &depth in depths {
+        let mut wl_rng = SimRng::seed(0x51ed ^ depth);
+        let prefill: Vec<u64> = (0..depth).map(|_| engine_delta(&mut wl_rng)).collect();
+        let churn: Vec<u64> = (0..churn_ops).map(|_| engine_delta(&mut wl_rng)).collect();
+        let (w_eps, w_fp) = engine_bench(EventQueue::<EnginePayload>::new, &prefill, &churn);
+        let (h_eps, h_fp) =
+            engine_bench(ReferenceEventQueue::<EnginePayload>::new, &prefill, &churn);
+        assert_eq!(w_fp, h_fp, "engines diverged at depth {depth}");
+        println!(
+            "{:<40} {:>9.2} M ev/s wheel, {:>9.2} M ev/s heap ({:.2}x)",
+            format!("engine_churn_depth_{depth}"),
+            w_eps / 1e6,
+            h_eps / 1e6,
+            w_eps / h_eps,
+        );
+        sim_wheel_eps.push(w_eps);
+        sim_heap_eps.push(h_eps);
+    }
+    // Headline numbers at depth 1e4 (present in quick and full lists).
+    let headline = depths.iter().position(|&d| d == 10_000).unwrap();
+    let sim_wheel = sim_wheel_eps[headline];
+    let sim_heap = sim_heap_eps[headline];
+    let sim_speedup = sim_wheel / sim_heap;
+
     println!("== end-to-end chaos soak, {soak_seeds} seeds x {soak_ops} ops ==");
     let seeds: Vec<u64> = (0..soak_seeds).collect();
     let t = Instant::now();
@@ -203,7 +321,21 @@ fn main() {
     let icrc_speedup = icrc_ref.ns_per_iter / icrc_s8.ns_per_iter;
     let crc64_speedup = crc64_ref.ns_per_iter / crc64_s8.ns_per_iter;
     let soak_speedup = soak_seq_ms / soak_par_ms;
-    println!("icrc speedup: {icrc_speedup:.2}x, crc64 speedup: {crc64_speedup:.2}x, soak speedup: {soak_speedup:.2}x");
+    println!("icrc speedup: {icrc_speedup:.2}x, crc64 speedup: {crc64_speedup:.2}x, engine speedup: {sim_speedup:.2}x, soak speedup: {soak_speedup:.2}x");
+
+    let fmt_eps = |v: &[f64]| {
+        v.iter()
+            .map(|e| format!("{e:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let sim_depths_json = depths
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let sim_wheel_json = fmt_eps(&sim_wheel_eps);
+    let sim_heap_json = fmt_eps(&sim_heap_eps);
 
     let crc = CRC_BYTES as u64;
     let json = format!(
@@ -221,6 +353,12 @@ fn main() {
   "parse_gib_s": {:.4},
   "trace_emit_disabled_ns": {:.2},
   "trace_emit_enabled_ns": {:.2},
+  "sim_depths": [{sim_depths_json}],
+  "sim_wheel_events_per_sec": [{sim_wheel_json}],
+  "sim_heap_events_per_sec": [{sim_heap_json}],
+  "sim_events_per_sec_wheel": {sim_wheel:.0},
+  "sim_events_per_sec_heap": {sim_heap:.0},
+  "sim_engine_speedup": {sim_speedup:.3},
   "soak_seeds": {soak_seeds},
   "soak_sequential_ms": {soak_seq_ms:.1},
   "soak_parallel_ms": {soak_par_ms:.1},

@@ -10,6 +10,10 @@ use strom_wire::opcode::RpcOpCode;
 pub type NodeId = usize;
 
 /// Everything that can happen in the simulated world.
+///
+/// Every timer-wheel bucket and heap slot pays for the largest variant,
+/// so payloads that would bloat the enum ride behind a `Box` (the
+/// `WorkRequest` below); a test pins the whole enum to one cache line.
 #[derive(Debug)]
 pub enum Event {
     /// A host command reached the NIC Controller (after the MMIO store).
@@ -18,8 +22,9 @@ pub enum Event {
         node: NodeId,
         /// Queue pair of the command.
         qpn: Qpn,
-        /// The work request.
-        wr: WorkRequest,
+        /// The work request (boxed: it is the fattest payload in the
+        /// simulation, and commands are rare next to frames and DMAs).
+        wr: Box<WorkRequest>,
         /// Work-request handle assigned at post time.
         handle: u64,
     },
@@ -69,4 +74,19 @@ pub enum Event {
         /// The raw 28-byte ARP payload.
         frame: Vec<u8>,
     },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The event engine moves `Scheduled<Event>` values on every insert
+    /// and cascade; keep the payload within one cache line so those
+    /// moves stay cheap. Growing a variant past this is a perf
+    /// regression, not a compile error — hence the pin.
+    #[test]
+    fn event_fits_in_a_cache_line() {
+        let size = std::mem::size_of::<Event>();
+        assert!(size <= 64, "Event grew to {size} B (> 64)");
+    }
 }

@@ -187,6 +187,13 @@ pub struct Testbed {
     /// Post time and operation kind per (node, handle), consumed when the
     /// work request completes to feed the latency histograms.
     post_info: HashMap<(NodeId, u64), (Time, LatKind)>,
+    /// Whether `STROM_TRACE` was set at construction — cached so the
+    /// hottest loop in the codebase does not re-query the environment on
+    /// every event.
+    trace_env: bool,
+    /// Reusable buffer for [`Self::step_batch`] (zero steady-state
+    /// allocation).
+    batch_buf: Vec<strom_sim::Scheduled<Event>>,
 }
 
 /// Work-request classes with separate completion-latency histograms.
@@ -255,6 +262,8 @@ impl Testbed {
             lat,
             capture: None,
             post_info: HashMap::new(),
+            trace_env: std::env::var_os("STROM_TRACE").is_some(),
+            batch_buf: Vec::new(),
             cfg,
         }
     }
@@ -563,7 +572,7 @@ impl Testbed {
             Event::CmdArrive {
                 node,
                 qpn,
-                wr,
+                wr: Box::new(wr),
                 handle,
             },
         );
@@ -654,9 +663,9 @@ impl Testbed {
         }
     }
 
-    /// Runs the event loop dry.
+    /// Runs the event loop dry, one same-timestamp batch at a time.
     pub fn run_until_idle(&mut self) {
-        while self.step() {}
+        while self.step_batch() > 0 {}
     }
 
     /// Runs the event loop dry, but gives up after `max_events` events.
@@ -664,13 +673,20 @@ impl Testbed {
     /// Returns `true` if the simulation quiesced within the budget — the
     /// chaos harness's livelock detector: a retransmission storm that
     /// never converges fails this instead of hanging the test suite.
+    /// Batched dispatch may overshoot the budget by at most one
+    /// same-timestamp bucket.
     pub fn run_until_idle_bounded(&mut self, max_events: u64) -> bool {
-        for _ in 0..max_events {
-            if !self.step() {
+        let mut left = max_events;
+        loop {
+            if left == 0 {
+                return self.queue.is_empty();
+            }
+            let n = self.step_batch();
+            if n == 0 {
                 return true;
             }
+            left = left.saturating_sub(n);
         }
-        self.queue.is_empty()
     }
 
     /// Whether `qpn` on `node` still has unacknowledged messages or
@@ -685,17 +701,40 @@ impl Testbed {
         let Some(scheduled) = self.queue.pop() else {
             return false;
         };
-        let now = scheduled.at;
-        if std::env::var_os("STROM_TRACE").is_some() {
+        self.dispatch_event(scheduled.event, scheduled.at);
+        true
+    }
+
+    /// Processes one same-timestamp batch of events; returns how many
+    /// were dispatched (0 when the queue is empty).
+    ///
+    /// Equivalent to calling [`Self::step`] once per event in the batch —
+    /// same order, same handlers — but amortizes the queue's bucket walk
+    /// across the whole tick. Used by the idle-drain loops; the
+    /// completion- and watch-bounded loops keep single-event granularity
+    /// so they stop exactly where the reference engine would.
+    pub fn step_batch(&mut self) -> u64 {
+        let mut buf = std::mem::take(&mut self.batch_buf);
+        buf.clear();
+        let n = self.queue.pop_batch(&mut buf);
+        for s in buf.drain(..) {
+            self.dispatch_event(s.event, s.at);
+        }
+        self.batch_buf = buf;
+        n as u64
+    }
+
+    fn dispatch_event(&mut self, event: Event, now: Time) {
+        if self.trace_env {
             eprintln!(
                 "[{now}] {:?} pending={} retx={} deadline0={:?}",
-                EventKind::of(&scheduled.event),
+                EventKind::of(&event),
                 self.queue.pending(),
                 self.nodes[0].requester.retransmissions(),
                 self.nodes[0].timer.next_deadline()
             );
         }
-        match scheduled.event {
+        match event {
             Event::CmdArrive {
                 node,
                 qpn,
@@ -716,14 +755,28 @@ impl Testbed {
             Event::RetransmitCheck { node } => self.on_retransmit_check(node, now),
             Event::ArpArrive { node, frame } => self.on_arp(node, &frame, now),
         }
-        true
     }
 
     // ----- event handlers -------------------------------------------------
 
-    fn on_cmd(&mut self, node: NodeId, qpn: Qpn, wr: WorkRequest, handle: u64, now: Time) {
+    fn on_cmd(&mut self, node: NodeId, qpn: Qpn, wr: Box<WorkRequest>, handle: u64, now: Time) {
+        // Reads land in the bounded multi-queue; if it is full, back the
+        // doorbell off *before* posting so the success path below can move
+        // the request out of its box instead of cloning it defensively.
+        if matches!(*wr, WorkRequest::Read { .. }) && self.nodes[node].requester.read_queue_full() {
+            self.queue.schedule_at(
+                now + 500 * strom_sim::time::NANOS,
+                Event::CmdArrive {
+                    node,
+                    qpn,
+                    wr,
+                    handle,
+                },
+            );
+            return;
+        }
         let n = &mut self.nodes[node];
-        match n.requester.post(&mut n.state, qpn, wr.clone()) {
+        match n.requester.post(&mut n.state, qpn, *wr) {
             Ok((wr_id, descs)) => {
                 self.wr_map.insert((node, wr_id), handle);
                 for desc in descs {
@@ -731,16 +784,7 @@ impl Testbed {
                 }
             }
             Err(strom_proto::requester::PostError::MultiQueueFull) => {
-                // Host backoff: retry the doorbell shortly.
-                self.queue.schedule_at(
-                    now + 500 * strom_sim::time::NANOS,
-                    Event::CmdArrive {
-                        node,
-                        qpn,
-                        wr,
-                        handle,
-                    },
-                );
+                unreachable!("read-queue fullness is pre-checked above")
             }
             Err(strom_proto::requester::PostError::QpInError) => {
                 // The QP went terminal while the doorbell was in flight:

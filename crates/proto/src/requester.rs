@@ -266,6 +266,14 @@ impl Requester {
             .unwrap_or(false)
     }
 
+    /// Whether a READ posted now would be refused with
+    /// [`PostError::MultiQueueFull`] — no free Multi-Queue slot. Lets the
+    /// NIC check before moving a work request into [`Self::post`] instead
+    /// of cloning it against the possibility of that error.
+    pub fn read_queue_full(&self) -> bool {
+        self.multi_queue.free_slots() == 0
+    }
+
     /// Posts a work request; returns the packets to transmit and the
     /// work-request id that will appear in the eventual [`Completion`].
     pub fn post(

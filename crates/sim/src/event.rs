@@ -3,6 +3,14 @@
 //! Events are ordered by (time, insertion sequence): two events scheduled
 //! for the same instant fire in the order they were scheduled, which makes
 //! simulations reproducible regardless of payload type.
+//!
+//! Storage is a hybrid of a [hierarchical timer wheel](crate::wheel) for
+//! near-future events (O(1) scheduling, the overwhelmingly common case:
+//! link serialization, PCIe latencies, DMA completions) and an overflow
+//! min-heap for far-future deadlines, which cascade into the wheel as the
+//! clock advances. The original `BinaryHeap` engine survives as
+//! [`ReferenceEventQueue`], differential-tested against the wheel — the
+//! same keep-the-slow-one pattern as the byte-at-a-time CRC references.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -10,6 +18,7 @@ use std::collections::BinaryHeap;
 use strom_telemetry::{Counter, TraceSink};
 
 use crate::time::{Time, TimeDelta};
+use crate::wheel::TimerWheel;
 
 /// An event together with its firing time and a tie-breaking sequence number.
 #[derive(Debug, Clone)]
@@ -38,7 +47,7 @@ impl<E> PartialOrd for Scheduled<E> {
 
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed so that the `BinaryHeap` (a max-heap) pops the earliest
+        // Reversed so that a `BinaryHeap` (a max-heap) pops the earliest
         // event first.
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
@@ -60,7 +69,12 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    wheel: TimerWheel<E>,
+    /// The earliest bucket, extracted from the wheel and held in
+    /// *descending* seq order so [`Self::pop`] is a move off the end.
+    /// Same-time events scheduled while the bucket drains re-enter the
+    /// wheel (their seqs are larger, so they correctly pop afterwards).
+    batch: Vec<Scheduled<E>>,
     now: Time,
     seq: u64,
     processed: u64,
@@ -78,7 +92,8 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at time zero.
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            wheel: TimerWheel::new(),
+            batch: Vec::new(),
             now: 0,
             seq: 0,
             processed: 0,
@@ -109,12 +124,12 @@ impl<E> EventQueue<E> {
 
     /// The number of events still pending.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.wheel.len() + self.batch.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.batch.is_empty() && self.wheel.is_empty()
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -125,7 +140,12 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        if self.wheel.is_empty() {
+            // Nothing bounds the cursor: pull it up to the clock so a
+            // long-idle queue files near-future events O(1) again.
+            self.wheel.reset_cursor(self.now);
+        }
+        self.wheel.insert(Scheduled { at, seq, event });
     }
 
     /// Schedules `event` to fire `delay` after the current time.
@@ -139,7 +159,11 @@ impl<E> EventQueue<E> {
     /// [`Self::advance_to`], the event still pops (in order) and the clock
     /// simply does not move backwards.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        let s = self.heap.pop()?;
+        if self.batch.is_empty() {
+            self.wheel.pop_batch(&mut self.batch);
+            self.batch.reverse();
+        }
+        let s = self.batch.pop()?;
         self.now = self.now.max(s.at);
         self.processed += 1;
         self.trace.set_now(self.now);
@@ -147,6 +171,39 @@ impl<E> EventQueue<E> {
             c.inc();
         }
         Some(s)
+    }
+
+    /// Drains every pending event sharing the earliest firing time into
+    /// `out` (appended in `(time, seq)` order) in one bucket operation —
+    /// same-timestamp dispatch without re-touching the queue per event.
+    /// Advances the clock exactly as the equivalent [`Self::pop`] loop
+    /// would and returns the number of events drained.
+    pub fn pop_batch(&mut self, out: &mut Vec<Scheduled<E>>) -> usize {
+        let n = if self.batch.is_empty() {
+            self.wheel.pop_batch(out)
+        } else {
+            let n = self.batch.len();
+            out.extend(self.batch.drain(..).rev());
+            // Same-tick events scheduled during a partial pop of this
+            // bucket re-entered the wheel with larger seqs; they are
+            // still part of "the earliest tick", so drain them too.
+            let extra = if self.wheel.min_time() == out.last().map(|s| s.at) {
+                self.wheel.pop_batch(out)
+            } else {
+                0
+            };
+            n + extra
+        };
+        if n > 0 {
+            let at = out.last().expect("n > 0").at;
+            self.now = self.now.max(at);
+            self.processed += n as u64;
+            self.trace.set_now(self.now);
+            if let Some(c) = &self.dispatched {
+                c.add(n as u64);
+            }
+        }
+        n
     }
 
     /// Advances the clock to `t` without processing events — used to model
@@ -158,6 +215,107 @@ impl<E> EventQueue<E> {
     }
 
     /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.batch
+            .last()
+            .map(|s| s.at)
+            .or_else(|| self.wheel.min_time())
+    }
+}
+
+/// The original `BinaryHeap`-backed event queue, kept as the differential
+/// reference for the timer wheel (the engine equivalent of the
+/// byte-at-a-time CRC references): O(log n) per operation, trivially
+/// correct by construction. Property tests and the `sim_micro` benchmark
+/// drive identical schedules through both and assert identical streams.
+#[derive(Debug)]
+pub struct ReferenceEventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: Time,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for ReferenceEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ReferenceEventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// See [`EventQueue::now`].
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// See [`EventQueue::processed`].
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// See [`EventQueue::pending`].
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// See [`EventQueue::is_empty`].
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// See [`EventQueue::schedule_at`].
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// See [`EventQueue::schedule_in`].
+    pub fn schedule_in(&mut self, delay: TimeDelta, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// See [`EventQueue::pop`].
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let s = self.heap.pop()?;
+        self.now = self.now.max(s.at);
+        self.processed += 1;
+        Some(s)
+    }
+
+    /// See [`EventQueue::pop_batch`]: drains every event tied with the
+    /// earliest firing time, via repeated heap pops.
+    pub fn pop_batch(&mut self, out: &mut Vec<Scheduled<E>>) -> usize {
+        let Some(at) = self.peek_time() else {
+            return 0;
+        };
+        let mut n = 0;
+        while self.heap.peek().map(|s| s.at) == Some(at) {
+            out.push(self.heap.pop().expect("peeked"));
+            n += 1;
+        }
+        self.now = self.now.max(at);
+        self.processed += n as u64;
+        n
+    }
+
+    /// See [`EventQueue::advance_to`].
+    pub fn advance_to(&mut self, t: Time) {
+        self.now = self.now.max(t);
+    }
+
+    /// See [`EventQueue::peek_time`].
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|s| s.at)
     }
@@ -240,5 +398,76 @@ mod tests {
         assert_eq!(q.pending(), 1);
         assert_eq!(q.processed(), 1);
         assert_eq!(q.peek_time(), Some(2));
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_the_earliest_tick() {
+        let mut q = EventQueue::new();
+        q.schedule_at(7, "a");
+        q.schedule_at(7, "b");
+        q.schedule_at(9, "c");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), 2);
+        let got: Vec<_> = out.iter().map(|s| (s.at, s.event)).collect();
+        assert_eq!(got, vec![(7, "a"), (7, "b")]);
+        assert_eq!(q.now(), 7);
+        assert_eq!(q.processed(), 2);
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out), 1);
+        assert_eq!(out[0].event, "c");
+        assert_eq!(q.pop_batch(&mut out), 0);
+    }
+
+    #[test]
+    fn pop_batch_counts_telemetry_per_event() {
+        let mut q = EventQueue::new();
+        let trace = TraceSink::enabled(8);
+        let dispatched = Counter::default();
+        q.set_telemetry(trace.clone(), Some(dispatched.clone()));
+        for _ in 0..3 {
+            q.schedule_at(11, ());
+        }
+        let mut out = Vec::new();
+        q.pop_batch(&mut out);
+        assert_eq!(dispatched.get(), 3);
+        assert_eq!(trace.now(), 11);
+    }
+
+    #[test]
+    fn partial_pop_then_batch_preserves_order() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.schedule_at(5, i);
+        }
+        assert_eq!(q.pop().unwrap().event, 0);
+        // A same-tick event scheduled mid-bucket still belongs to the
+        // earliest tick — the batch drains it after the original events.
+        q.schedule_at(5, 4);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), 4);
+        assert_eq!(
+            out.iter().map(|s| s.event).collect::<Vec<_>>(),
+            [1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn reference_queue_matches_on_a_small_interleaving() {
+        let mut q = EventQueue::new();
+        let mut r = ReferenceEventQueue::new();
+        for (at, ev) in [(30, 'a'), (10, 'b'), (30, 'c'), (20, 'd')] {
+            q.schedule_at(at, ev);
+            r.schedule_at(at, ev);
+        }
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            match (&a, &b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.at, x.seq, x.event), (y.at, y.seq, y.event));
+                }
+                (None, None) => break,
+                _ => panic!("queues diverged: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

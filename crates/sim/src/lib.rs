@@ -2,7 +2,9 @@
 //!
 //! The StRoM paper evaluates real FPGA hardware; this crate provides the
 //! substrate that replaces the testbed: a picosecond-resolution simulated
-//! clock, a deterministic event queue, bandwidth/latency primitives that
+//! clock, a deterministic event queue (a hierarchical timer wheel with an
+//! overflow heap, differential-tested against a reference binary heap),
+//! bandwidth/latency primitives that
 //! model serialization over links and buses, bounded FIFOs mirroring the
 //! HLS `stream<>` objects, and latency statistics matching the paper's
 //! reporting style (median with 1st/99th-percentile whiskers).
@@ -19,8 +21,9 @@ pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use event::{EventQueue, Scheduled};
+pub use event::{EventQueue, ReferenceEventQueue, Scheduled};
 pub use fifo::Fifo;
 pub use parallel::{default_workers, parallel_map};
 pub use rate::{Bandwidth, LinkSerializer};

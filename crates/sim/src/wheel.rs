@@ -1,0 +1,381 @@
+//! Hierarchical timer wheel: the O(1) storage engine behind
+//! [`EventQueue`](crate::EventQueue).
+//!
+//! A discrete-event simulator at 100 G line rate dispatches hundreds of
+//! millions of events per simulated second, and almost all of them are
+//! *near-future*: link serialization, PCIe hops, and DMA completions are
+//! short, config-bounded delays. A comparison-based heap pays O(log n)
+//! per event and a comparator-driven pointer chase per level; the wheel
+//! places each event in a bucket by simple bit arithmetic instead.
+//!
+//! # Geometry
+//!
+//! Six levels of 64 slots, 1 ps granularity at level 0. A slot at level
+//! `k` spans `64^k` ps, so the wheel covers `64^6 = 2^36` ps (~68.7 ms)
+//! ahead of its cursor — beyond the longest backed-off retransmission
+//! deadline (`100 µs << 6` = 6.4 ms). Events scheduled further out than
+//! the horizon wait in an overflow min-heap and migrate into the wheel
+//! as the cursor advances.
+//!
+//! An event's level is the highest 6-bit digit in which its firing time
+//! differs from the cursor (`level_of(at ^ cur)`, the Linux timer-wheel
+//! rule). This keeps every occupied slot *ahead* of the cursor in plain
+//! (non-wrapping) slot order, so the earliest pending bucket is a
+//! `trailing_zeros` over one occupancy word per level. When the cursor
+//! enters a level-`k` slot, that slot's events re-place into levels
+//! `< k` (cascade); each event cascades at most 5 times, so scheduling
+//! stays amortized O(1).
+//!
+//! # Determinism
+//!
+//! The public order is the exact `(time, seq)` total order of the
+//! reference heap. Two events only share a level-0 slot if they share an
+//! exact firing time, and a drained bucket is sorted by `seq` before it
+//! is handed out — cascading from different levels may interleave
+//! arrival order inside a bucket, and the sort restores it. Equivalence
+//! with [`ReferenceEventQueue`](crate::event::ReferenceEventQueue) is
+//! property-tested over randomized schedule/pop/advance interleavings.
+
+use std::collections::BinaryHeap;
+
+use crate::event::Scheduled;
+use crate::time::Time;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; deltas of `64^LEVELS` ps or more overflow.
+const LEVELS: usize = 6;
+/// log2 of the wheel horizon in picoseconds.
+const HORIZON_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+/// The level whose 6-bit digit is the highest one set in `x = at ^ cur`.
+///
+/// `x` must be below the horizon (`x >> HORIZON_BITS == 0`).
+#[inline]
+fn level_of(x: u64) -> usize {
+    if x == 0 {
+        0
+    } else {
+        ((63 - x.leading_zeros()) / SLOT_BITS) as usize
+    }
+}
+
+/// Timed-event storage with O(1) near-future scheduling.
+///
+/// The wheel is pure storage: it neither assigns sequence numbers nor
+/// tracks a public clock — [`EventQueue`](crate::EventQueue) layers both
+/// on top. The only ordering contract is that [`Self::pop_batch`] drains
+/// buckets in `(time, seq)` order.
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    /// `LEVELS * SLOTS` buckets; bucket `(k, i)` lives at `k * SLOTS + i`.
+    slots: Vec<Vec<Scheduled<E>>>,
+    /// One occupancy bit per slot, per level.
+    occupied: [u64; LEVELS],
+    /// Events beyond the wheel horizon, earliest `(at, seq)` first
+    /// (`Scheduled`'s reversed `Ord` makes the max-heap pop the minimum).
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Scratch buffer reused by cascades (capacity recycles via swap).
+    cascade_buf: Vec<Scheduled<E>>,
+    /// Wheel cursor: a lower bound on every pending firing time. Distinct
+    /// from the simulation clock, which may run ahead via `advance_to`.
+    cur: Time,
+    /// Total pending events (wheel + overflow).
+    len: usize,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel with the cursor at time zero.
+    pub fn new() -> Self {
+        Self {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            cascade_buf: Vec::new(),
+            cur: 0,
+            len: 0,
+        }
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Moves the cursor forward to `t` — allowed only while empty, where
+    /// the cursor bounds nothing. Keeps a long-idle wheel from filing
+    /// fresh events into the overflow heap just because the cursor was
+    /// left far in the past.
+    pub fn reset_cursor(&mut self, t: Time) {
+        debug_assert!(self.is_empty(), "cursor reset with events pending");
+        self.cur = self.cur.max(t);
+    }
+
+    /// Inserts an event. `s.at` must not precede the cursor (the event
+    /// queue's past-time clamp guarantees this).
+    pub fn insert(&mut self, s: Scheduled<E>) {
+        debug_assert!(
+            s.at >= self.cur,
+            "insert at {} before cursor {}",
+            s.at,
+            self.cur
+        );
+        self.place(s);
+        self.len += 1;
+    }
+
+    /// Files an event into its wheel slot or the overflow heap. Does not
+    /// touch `len` (shared by insert, cascade, and overflow migration).
+    fn place(&mut self, s: Scheduled<E>) {
+        let x = s.at ^ self.cur;
+        if x >> HORIZON_BITS != 0 {
+            self.overflow.push(s);
+            return;
+        }
+        let k = level_of(x);
+        let idx = ((s.at >> (SLOT_BITS * k as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[k * SLOTS + idx].push(s);
+        self.occupied[k] |= 1 << idx;
+    }
+
+    /// Pulls every overflow event now inside the horizon into the wheel.
+    fn migrate_overflow(&mut self) {
+        while let Some(peek) = self.overflow.peek() {
+            if (peek.at ^ self.cur) >> HORIZON_BITS != 0 {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked");
+            self.place(s);
+        }
+    }
+
+    /// The earliest pending firing time, without disturbing the wheel.
+    pub fn min_time(&self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        // Level 0 buckets hold exact times; the lowest occupied slot is
+        // the global minimum (higher levels sit past the next boundary).
+        if self.occupied[0] != 0 {
+            let idx = self.occupied[0].trailing_zeros() as u64;
+            return Some((self.cur & !(SLOTS as u64 - 1)) + idx);
+        }
+        // Otherwise the lowest occupied level's first slot contains the
+        // minimum; a level-k slot spans 64^k ps, so scan it.
+        for k in 1..LEVELS {
+            if self.occupied[k] != 0 {
+                let idx = self.occupied[k].trailing_zeros() as usize;
+                return self.slots[k * SLOTS + idx].iter().map(|s| s.at).min();
+            }
+        }
+        self.overflow.peek().map(|s| s.at)
+    }
+
+    /// Drains the earliest pending bucket — every event sharing the
+    /// earliest firing time — appending it to `out` in `(at, seq)` order.
+    /// Returns the number of events moved (0 when empty).
+    pub fn pop_batch(&mut self, out: &mut Vec<Scheduled<E>>) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        loop {
+            self.migrate_overflow();
+            if self.occupied[0] != 0 {
+                let idx = self.occupied[0].trailing_zeros() as usize;
+                let t = (self.cur & !(SLOTS as u64 - 1)) + idx as u64;
+                debug_assert!(t >= self.cur);
+                // `t` stays inside the cursor's current horizon block, so
+                // no overflow event can share it: safe to advance and
+                // drain without re-migrating.
+                self.cur = t;
+                self.occupied[0] &= !(1 << idx);
+                let slot = &mut self.slots[idx];
+                let n = slot.len();
+                let start = out.len();
+                out.append(slot);
+                if n > 1 {
+                    // Same-time events from different levels may have
+                    // landed in arrival (cascade) order; seq order is the
+                    // contract.
+                    out[start..].sort_unstable_by_key(|s| s.seq);
+                }
+                self.len -= n;
+                return n;
+            }
+            // Level 0 empty: enter the first slot of the lowest occupied
+            // level and cascade it downward, or refill from overflow.
+            let Some(k) = (1..LEVELS).find(|&k| self.occupied[k] != 0) else {
+                let next = self
+                    .overflow
+                    .peek()
+                    .expect("len > 0 with an empty wheel implies overflow events")
+                    .at;
+                self.cur = next;
+                continue;
+            };
+            let idx = self.occupied[k].trailing_zeros() as usize;
+            if self.slots[k * SLOTS + idx].len() == 1 {
+                // A lone event in the first slot of the lowest occupied
+                // level is the global minimum: same-time events always
+                // share a slot, and overflow events live in later horizon
+                // blocks. Hand it out without cascading level by level —
+                // the common case when pending times are sparse.
+                let s = self.slots[k * SLOTS + idx].pop().expect("len == 1");
+                self.occupied[k] &= !(1 << idx);
+                self.cur = s.at;
+                self.len -= 1;
+                out.push(s);
+                return 1;
+            }
+            let span = SLOT_BITS * (k as u32 + 1);
+            let base = (self.cur >> span) << span;
+            let slot_start = base + ((idx as u64) << (SLOT_BITS * k as u32));
+            self.cur = self.cur.max(slot_start);
+            self.occupied[k] &= !(1 << idx);
+            let mut buf = std::mem::take(&mut self.cascade_buf);
+            std::mem::swap(&mut buf, &mut self.slots[k * SLOTS + idx]);
+            for s in buf.drain(..) {
+                // Relative to the new cursor every event in this slot is
+                // within 64^k, so it re-places strictly below level k.
+                self.place(s);
+            }
+            self.cascade_buf = buf;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Time, seq: u64) -> Scheduled<u64> {
+        Scheduled {
+            at,
+            seq,
+            event: seq,
+        }
+    }
+
+    #[test]
+    fn level_selection_matches_highest_differing_digit() {
+        assert_eq!(level_of(0), 0);
+        assert_eq!(level_of(1), 0);
+        assert_eq!(level_of(63), 0);
+        assert_eq!(level_of(64), 1);
+        assert_eq!(level_of(64 * 64 - 1), 1);
+        assert_eq!(level_of(64 * 64), 2);
+        assert_eq!(level_of((1u64 << HORIZON_BITS) - 1), LEVELS - 1);
+    }
+
+    #[test]
+    fn drains_buckets_in_time_order_across_levels() {
+        let mut w = TimerWheel::new();
+        // One event per level, plus one in the overflow heap.
+        let times = [
+            3u64,
+            100,
+            5_000,
+            300_000,
+            20_000_000,
+            1_500_000_000,
+            1 << 40,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.insert(ev(t, i as u64));
+        }
+        assert_eq!(w.len(), times.len());
+        let mut got = Vec::new();
+        let mut out = Vec::new();
+        while w.pop_batch(&mut out) > 0 {
+            got.extend(out.drain(..).map(|s| s.at));
+        }
+        assert_eq!(got, times.to_vec());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_events_pop_in_seq_order_even_across_levels() {
+        let mut w = TimerWheel::new();
+        // seq 0 lands at level 2 (far away), seq 1 at level 0 for the
+        // same instant after the cursor advances: the drained bucket must
+        // still come out in seq order.
+        w.insert(ev(10_000, 0));
+        w.insert(ev(9_000, 1));
+        let mut out = Vec::new();
+        assert_eq!(w.pop_batch(&mut out), 1);
+        assert_eq!(out[0].at, 9_000);
+        w.insert(ev(10_000, 2));
+        out.clear();
+        assert_eq!(w.pop_batch(&mut out), 2);
+        let seqs: Vec<u64> = out.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 2]);
+    }
+
+    #[test]
+    fn min_time_sees_every_region() {
+        let mut w: TimerWheel<u64> = TimerWheel::new();
+        assert_eq!(w.min_time(), None);
+        w.insert(ev(1 << 40, 0));
+        assert_eq!(w.min_time(), Some(1 << 40)); // overflow only
+        w.insert(ev(70_000, 1));
+        assert_eq!(w.min_time(), Some(70_000)); // level-2 slot scan
+        w.insert(ev(99_000, 2));
+        assert_eq!(w.min_time(), Some(70_000));
+        w.insert(ev(5, 3));
+        assert_eq!(w.min_time(), Some(5)); // level 0 exact
+    }
+
+    #[test]
+    fn overflow_migrates_back_in_order() {
+        let mut w = TimerWheel::new();
+        let horizon = 1u64 << HORIZON_BITS;
+        w.insert(ev(3 * horizon + 7, 0));
+        w.insert(ev(2 * horizon + 7, 1));
+        w.insert(ev(2 * horizon + 7, 2));
+        w.insert(ev(40, 3));
+        let mut got = Vec::new();
+        let mut out = Vec::new();
+        while w.pop_batch(&mut out) > 0 {
+            got.extend(out.drain(..).map(|s| (s.at, s.seq)));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (40, 3),
+                (2 * horizon + 7, 1),
+                (2 * horizon + 7, 2),
+                (3 * horizon + 7, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn cursor_reset_keeps_fresh_events_in_the_wheel() {
+        let mut w = TimerWheel::new();
+        w.insert(ev(10, 0));
+        let mut out = Vec::new();
+        w.pop_batch(&mut out);
+        assert!(w.is_empty());
+        // A long simulated-time jump later, near-future events should
+        // still land in the wheel, not the overflow heap.
+        w.reset_cursor(5 << HORIZON_BITS);
+        w.insert(ev((5 << HORIZON_BITS) + 100, 1));
+        assert!(w.overflow.is_empty());
+        out.clear();
+        assert_eq!(w.pop_batch(&mut out), 1);
+        assert_eq!(out[0].at, (5 << HORIZON_BITS) + 100);
+    }
+}

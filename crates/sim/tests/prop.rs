@@ -1,7 +1,9 @@
 //! Randomized tests of the simulation engine, driven by the
 //! deterministic [`SimRng`] with fixed seeds.
 
-use strom_sim::{Bandwidth, EventQueue, Fifo, LinkSerializer, Samples, SimRng};
+use strom_sim::{
+    Bandwidth, EventQueue, Fifo, LinkSerializer, ReferenceEventQueue, Samples, Scheduled, SimRng,
+};
 
 /// Events pop in non-decreasing time order regardless of insertion
 /// order, and ties preserve insertion order.
@@ -49,6 +51,100 @@ fn clock_is_monotone() {
             assert!(q.now() >= last_now);
             last_now = q.now();
         }
+    }
+}
+
+/// The timer-wheel queue and the reference heap queue produce identical
+/// `(at, seq, event)` streams under arbitrary interleavings of
+/// `schedule_at` (including past-time clamping and same-tick ties),
+/// `schedule_in`, `pop`, and `advance_to`. This is the determinism proof
+/// the engine swap rests on: the wheel's order is *defined* as whatever
+/// the trivially correct heap produces.
+#[test]
+fn wheel_and_reference_heap_are_indistinguishable() {
+    let mut rng = SimRng::seed(0x11ee1);
+    for round in 0..60 {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut r: ReferenceEventQueue<u32> = ReferenceEventQueue::new();
+        let mut next_ev = 0u32;
+        for _ in 0..rng.range(10, 400) {
+            match rng.below(10) {
+                // Schedule: a mix of near, far (multi-level / overflow),
+                // tied, and past (clamped) times.
+                0..=4 => {
+                    let at = match rng.below(4) {
+                        0 => q.now().saturating_add(rng.below(64)),
+                        1 => q.now().saturating_add(rng.below(1 << 20)),
+                        2 => q.now().saturating_add(rng.below(1 << 40)),
+                        // Possibly in the past: both queues must clamp.
+                        _ => rng.below(q.now().max(1) * 2 + 100),
+                    };
+                    q.schedule_at(at, next_ev);
+                    r.schedule_at(at, next_ev);
+                    next_ev += 1;
+                }
+                5 => {
+                    let d = rng.below(1 << 30);
+                    q.schedule_in(d, next_ev);
+                    r.schedule_in(d, next_ev);
+                    next_ev += 1;
+                }
+                6..=7 => {
+                    let a = q.pop().map(|s| (s.at, s.seq, s.event));
+                    let b = r.pop().map(|s| (s.at, s.seq, s.event));
+                    assert_eq!(a, b, "pop diverged (round {round})");
+                }
+                8 => {
+                    let t = q.now().saturating_add(rng.below(1 << 24));
+                    q.advance_to(t);
+                    r.advance_to(t);
+                }
+                _ => {
+                    let mut qa: Vec<Scheduled<u32>> = Vec::new();
+                    let mut rb: Vec<Scheduled<u32>> = Vec::new();
+                    assert_eq!(q.pop_batch(&mut qa), r.pop_batch(&mut rb));
+                    let a: Vec<_> = qa.iter().map(|s| (s.at, s.seq, s.event)).collect();
+                    let b: Vec<_> = rb.iter().map(|s| (s.at, s.seq, s.event)).collect();
+                    assert_eq!(a, b, "pop_batch diverged (round {round})");
+                }
+            }
+            assert_eq!(q.now(), r.now());
+            assert_eq!(q.pending(), r.pending());
+            assert_eq!(q.peek_time(), r.peek_time());
+        }
+        // Drain fully: the tails must match event for event.
+        loop {
+            let a = q.pop().map(|s| (s.at, s.seq, s.event));
+            let b = r.pop().map(|s| (s.at, s.seq, s.event));
+            assert_eq!(a, b, "drain diverged (round {round})");
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.processed(), r.processed());
+    }
+}
+
+/// Dense same-tick bursts: many events on few distinct times exercise the
+/// bucket sort and the batch/wheel handoff, where ordering bugs would
+/// hide. Ties must pop in exact insertion order on both engines.
+#[test]
+fn wheel_preserves_insertion_order_on_heavy_ties() {
+    let mut rng = SimRng::seed(0x7135);
+    for _ in 0..40 {
+        let mut q = EventQueue::new();
+        let mut r = ReferenceEventQueue::new();
+        let ticks: Vec<u64> = (0..rng.range(1, 8)).map(|_| rng.below(1 << 14)).collect();
+        for i in 0..rng.range(50, 300) {
+            let at = ticks[rng.below(ticks.len() as u64) as usize];
+            q.schedule_at(at, i);
+            r.schedule_at(at, i);
+        }
+        while let Some(a) = q.pop() {
+            let b = r.pop().expect("same length");
+            assert_eq!((a.at, a.seq, a.event), (b.at, b.seq, b.event));
+        }
+        assert!(r.pop().is_none());
     }
 }
 
