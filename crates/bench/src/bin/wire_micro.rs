@@ -17,7 +17,10 @@
 use std::time::Instant;
 
 use bytes::Bytes;
+use strom_bench::experiments::shuffle_scale::{spec as shuffle_spec, LOSS_RATE, NODE_COUNTS};
 use strom_bench::micro::{bb, bench};
+use strom_bench::Scale;
+use strom_nic::cluster_shuffle::run_shuffle;
 use strom_nic::{chaos_model, NicConfig, Testbed, WorkRequest};
 use strom_sim::{parallel_map, EventQueue, ReferenceEventQueue, SimRng};
 use strom_telemetry::{Histogram, TraceEvent, TraceSink};
@@ -318,6 +321,33 @@ fn main() {
         read_lat.count(),
     );
 
+    println!(
+        "== cluster shuffle scaling (N = 2/4/8, {}% loss) ==",
+        LOSS_RATE * 100.0
+    );
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let shuffle = parallel_map(NODE_COUNTS.to_vec(), strom_sim::default_workers(), |n| {
+        run_shuffle(&shuffle_spec(n, scale, true))
+    });
+    for (&n, out) in NODE_COUNTS.iter().zip(&shuffle) {
+        println!(
+            "{:<40} {:>9.3} GB/s aggregate, p99 {:>10.1} us, retx {}",
+            format!("shuffle_n{n}"),
+            out.aggregate_gbps,
+            out.p99_rpc_ps.map(|p| p as f64 / 1e6).unwrap_or(0.0),
+            out.retransmissions,
+        );
+    }
+    let sp99 = |i: usize| shuffle[i].p99_rpc_ps.map(|p| p as f64 / 1e6).unwrap_or(0.0);
+    let (sg0, sg1, sg2) = (
+        shuffle[0].aggregate_gbps,
+        shuffle[1].aggregate_gbps,
+        shuffle[2].aggregate_gbps,
+    );
+    let (sp0, sp1, sp2) = (sp99(0), sp99(1), sp99(2));
+    let shuffle_drops: u64 = shuffle.iter().map(|o| o.tail_drops).sum();
+    let shuffle_retx: u64 = shuffle.iter().map(|o| o.retransmissions).sum();
+
     let icrc_speedup = icrc_ref.ns_per_iter / icrc_s8.ns_per_iter;
     let crc64_speedup = crc64_ref.ns_per_iter / crc64_s8.ns_per_iter;
     let soak_speedup = soak_seq_ms / soak_par_ms;
@@ -363,6 +393,15 @@ fn main() {
   "soak_sequential_ms": {soak_seq_ms:.1},
   "soak_parallel_ms": {soak_par_ms:.1},
   "soak_speedup": {soak_speedup:.3},
+  "shuffle_loss_rate": {LOSS_RATE},
+  "shuffle_n2_gbps": {sg0:.4},
+  "shuffle_n2_p99_us": {sp0:.3},
+  "shuffle_n4_gbps": {sg1:.4},
+  "shuffle_n4_p99_us": {sp1:.3},
+  "shuffle_n8_gbps": {sg2:.4},
+  "shuffle_n8_p99_us": {sp2:.3},
+  "shuffle_tail_drops": {shuffle_drops},
+  "shuffle_retransmissions": {shuffle_retx},
   "write_p50_us": {:.3},
   "write_p99_us": {:.3},
   "write_p999_us": {:.3},

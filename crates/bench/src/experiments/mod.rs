@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod sec7;
+pub mod shuffle_scale;
 pub mod tables;
 
 use strom_nic::{NicConfig, Testbed};
@@ -173,6 +174,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "Sec 7: shuffle (random PCIe) vs HLL (stream) at 10G and 100G",
         ),
         (
+            "shuffle-scale",
+            "Cluster shuffle scaling: aggregate GB/s and p99 at N = 2/4/8",
+        ),
+        (
             "abl-bypass",
             "Ablation: DMA Descriptor Bypass on/off at 100G",
         ),
@@ -213,6 +218,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> String {
         "table3" => tables::table3(),
         "sec61" => tables::sec61(),
         "sec7" => sec7::run(scale).render(),
+        "shuffle-scale" => shuffle_scale::run(scale),
         "abl-bypass" => ablations::bypass(scale).render(),
         "abl-width" => ablations::width(scale).render(),
         "abl-timeout" => ablations::timeout(scale).render(),

@@ -1,0 +1,91 @@
+//! Cluster shuffle scaling: §6.4's shuffle scaled out over the switched
+//! cluster, N = 2, 4, 8.
+//!
+//! Every node hash-partitions its local table by destination node and
+//! streams each bucket to the owning peer as RDMA RPC WRITEs through
+//! that peer's on-NIC shuffle kernel; all N·(N−1) flows contend for the
+//! same store-and-forward switch concurrently. Each point runs twice —
+//! fault-free and with Bernoulli loss on every link — and
+//! [`run_shuffle`] verifies byte-exact, exactly-once delivery
+//! internally, so every number reported here comes from a checked run.
+
+use strom_nic::cluster_shuffle::{run_shuffle, ShuffleSpec};
+use strom_nic::LinkFaultModel;
+use strom_sim::report::{Figure, Series};
+use strom_sim::time::MICROS;
+
+use super::Scale;
+
+/// Node counts on the scaling curve.
+pub const NODE_COUNTS: [usize; 3] = [2, 4, 8];
+
+/// Per-link loss rate of the faulted series: high enough that every
+/// scaling point (including quick-scale N = 2, ~100 frames) actually
+/// loses frames and recovers them via retransmission.
+pub const LOSS_RATE: f64 = 0.02;
+
+/// The spec for one scaling point. Shared with the `wire_micro` binary
+/// so `BENCH_wire.json` and the figure report measure the same runs.
+pub fn spec(nodes: usize, scale: Scale, lossy: bool) -> ShuffleSpec {
+    let values_per_node = match scale {
+        Scale::Quick => 16 * 1024,
+        Scale::Full => 128 * 1024,
+    };
+    let mut spec = ShuffleSpec::new(nodes, values_per_node, 0x5CA_1E00 + nodes as u64);
+    spec.local_partitions = 64;
+    // A deep-buffered fabric: the all-to-all incast parks up to
+    // (N−1) flows' worth of frames on one egress port, and the default
+    // shallow 64-frame queue would congestion-collapse into tail-drop /
+    // go-back-N duplicate storms. 1024 frames absorbs the worst-case
+    // burst (~766 us of queueing at 10G); the retransmission timeout
+    // must sit above that delay or every queued frame turns into a
+    // spurious duplicate.
+    spec.switch.egress_capacity = 1024;
+    spec.retransmit_timeout = Some(1_000 * MICROS);
+    if lossy {
+        spec.fault = LinkFaultModel::bernoulli(LOSS_RATE);
+    }
+    spec
+}
+
+/// Aggregate shuffle throughput and p99 RPC completion latency vs node
+/// count, rendered as two figures over the same x axis.
+pub fn run(scale: Scale) -> String {
+    let ticks: Vec<String> = NODE_COUNTS.iter().map(|n| n.to_string()).collect();
+    let lossy_label = format!("{}% loss", LOSS_RATE * 100.0);
+    let mut tput = [Vec::new(), Vec::new()];
+    let mut p99 = [Vec::new(), Vec::new()];
+    let (mut drops, mut retx) = (0u64, 0u64);
+    for (i, lossy) in [false, true].into_iter().enumerate() {
+        for &n in &NODE_COUNTS {
+            let out = run_shuffle(&spec(n, scale, lossy));
+            tput[i].push(out.aggregate_gbps);
+            p99[i].push(out.p99_rpc_ps.map(|ps| ps as f64 / 1e6));
+            if lossy {
+                drops += out.tail_drops;
+                retx += out.retransmissions;
+            }
+        }
+    }
+    let throughput = Figure::new(
+        "Shuffle scaling: aggregate all-to-all throughput (10G switched cluster)",
+        "nodes",
+        ticks.clone(),
+        "GB/s",
+    )
+    .push_series(Series::new("fault-free", tput[0].clone()))
+    .push_series(Series::new(lossy_label.clone(), tput[1].clone()));
+    let latency = Figure::new(
+        "Shuffle scaling: p99 RPC WRITE completion latency",
+        "nodes",
+        ticks,
+        "us",
+    )
+    .push_series(Series::with_gaps("fault-free", p99[0].clone()))
+    .push_series(Series::with_gaps(lossy_label, p99[1].clone()))
+    .push_note(format!(
+        "lossy series: tail_drops={drops} retransmissions={retx}; \
+         every run verified byte-exact, exactly-once"
+    ));
+    format!("{}\n{}", throughput.render(), latency.render())
+}

@@ -6,7 +6,8 @@ use strom_proto::WorkRequest;
 use strom_wire::bth::Qpn;
 use strom_wire::opcode::RpcOpCode;
 
-/// A node index in the testbed (0 or 1 for the back-to-back pair).
+/// A node index in the testbed (0 or 1 for the back-to-back pair; 0..N
+/// for a switched cluster).
 pub type NodeId = usize;
 
 /// Everything that can happen in the simulated world.
@@ -67,6 +68,11 @@ pub enum Event {
         /// The node to scan.
         node: NodeId,
     },
+    /// The cluster switch has at least one ingress frame eligible for
+    /// arbitration at this time; the testbed runs a grant pass. Extra
+    /// ticks at the same instant are harmless no-ops (the first drains
+    /// every eligible frame).
+    SwitchTick,
     /// An ARP frame arrived (network bring-up, §4.1's ARP module).
     ArpArrive {
         /// The receiving node.

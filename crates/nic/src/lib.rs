@@ -1,14 +1,17 @@
 //! The StRoM NIC simulation: RoCE stack + DMA engine + kernel fabric,
-//! assembled into a two-node testbed.
+//! assembled into a testbed of N nodes.
 //!
 //! This crate is the counterpart of the paper's hardware platform
 //! (Figure 1): each simulated node has host memory behind a PCIe/DMA
 //! model with an on-NIC TLB, a RoCE v2 protocol engine (the sans-IO state
 //! machines of `strom-proto` driven with pipeline timing), and a kernel
 //! fabric hosting StRoM kernels on the data path between the RoCE stack
-//! and the DMA engine (Figure 4). Two such nodes are connected
-//! back-to-back — "we directly connected two StRoM NICs to each other to
-//! remove the potential noise introduced by a switch" (§6.1).
+//! and the DMA engine (Figure 4). The default [`Testbed`] connects two
+//! such nodes back-to-back — "we directly connected two StRoM NICs to
+//! each other to remove the potential noise introduced by a switch"
+//! (§6.1) — while [`ClusterTestbed`] places N of them around a
+//! deterministic store-and-forward switch and drives multi-node
+//! workloads like the all-to-all shuffle ([`cluster_shuffle`]).
 //!
 //! Packets cross the simulated wire as real encoded bytes
 //! (`strom_wire::Packet::encode`/`parse`), so the full header machinery,
@@ -17,6 +20,7 @@
 //! PCIe, and line-rate constants documented in `NicConfig`.
 
 pub mod chaos;
+pub mod cluster_shuffle;
 pub mod config;
 pub mod controller;
 pub mod event;
@@ -29,7 +33,7 @@ pub use controller::{CommandWord, StatusRegisters};
 pub use event::{Event, NodeId};
 pub use fabric::KernelFabric;
 pub use fault::{LinkFaultModel, LossModel};
-pub use testbed::{CpuFallback, Testbed, WatchId};
+pub use testbed::{ClusterTestbed, CpuFallback, SwitchParams, Testbed, WatchId};
 
 pub use chaos::{active_fault_types, chaos_model};
 

@@ -1,5 +1,14 @@
-//! The two-node StRoM testbed: the simulated equivalent of §6.1's setup
-//! ("we directly connected two StRoM NICs to each other").
+//! The StRoM testbed: N simulated NIC + host pairs around a network.
+//!
+//! Two network geometries share one datapath. [`Testbed`] is the
+//! simulated equivalent of §6.1's setup ("we directly connected two
+//! StRoM NICs to each other"): exactly two nodes, point-to-point, no
+//! switch — a thin wrapper over [`ClusterTestbed::transparent_pair`].
+//! [`ClusterTestbed::switched`] instead places N nodes around a
+//! deterministic store-and-forward switch ([`strom_sim::Switch`]), which
+//! adds per-egress-port serialization, switching latency, bounded egress
+//! queues with tail-drop, and round-robin arbitration — the substrate
+//! for multi-node experiments like the all-to-all shuffle.
 //!
 //! Every packet still crosses the wire as real bytes — encoded on
 //! transmit and parsed (with ICRC validation) on receive — but the byte
@@ -32,10 +41,11 @@ use strom_proto::{
     CompletionStatus, PacketDescriptor, PayloadSource, Requester, Responder, ResponderAction,
     RetransmissionTimer, StateTable, WorkRequest,
 };
+use strom_sim::switch::{Delivery, Switch, SwitchConfig, SwitchPortCounters, TailDrop};
 use strom_sim::time::{Time, TimeDelta};
-use strom_sim::{EventQueue, LinkSerializer, SimRng};
+use strom_sim::{Bandwidth, EventQueue, LinkSerializer, SimRng};
 use strom_telemetry::{
-    DropReason, HistogramHandle, MetricsRegistry, TraceEvent, TraceSink, WireCounters,
+    Counter, DropReason, HistogramHandle, MetricsRegistry, TraceEvent, TraceSink, WireCounters,
 };
 use strom_wire::bth::{Aeth, AethSyndrome, Psn, Qpn};
 use strom_wire::opcode::{Opcode, RpcOpCode};
@@ -147,22 +157,83 @@ struct Node {
     kernel_occ: Vec<(RpcOpCode, LinkSerializer)>,
     /// CPU fallback handlers by RPC op-code (§5.1).
     fallbacks: Vec<(RpcOpCode, Box<dyn CpuFallback>)>,
-    /// Wire datapath statistics — the same struct [`Testbed::status`]
-    /// hands back, so nothing is hand-mirrored into the register view.
+    /// Wire datapath statistics — the same struct
+    /// [`ClusterTestbed::status`] hands back, so nothing is
+    /// hand-mirrored into the register view.
     counters: WireCounters,
 }
 
-/// The simulated world: two nodes and the wire between them.
-pub struct Testbed {
+/// Geometry and timing of the cluster switch, the knobs
+/// [`ClusterTestbed::switched`] takes on top of the per-NIC
+/// [`NicConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchParams {
+    /// Egress serialization rate per switch port; `None` uses the NIC
+    /// link rate from the [`NicConfig`] (a non-blocking switch).
+    pub port_rate: Option<Bandwidth>,
+    /// Store-and-forward switching latency per frame.
+    pub latency: TimeDelta,
+    /// Egress queue bound per port, in frames; the switch tail-drops
+    /// beyond it.
+    pub egress_capacity: usize,
+}
+
+impl Default for SwitchParams {
+    /// A shallow-buffered top-of-rack switch: 500 ns switching latency,
+    /// line-rate ports, 64-frame egress queues.
+    fn default() -> Self {
+        SwitchParams {
+            port_rate: None,
+            latency: 500 * strom_sim::time::NANOS,
+            egress_capacity: 64,
+        }
+    }
+}
+
+/// What rides through the switch alongside each frame: the encoded
+/// bytes plus the fault-model decisions already drawn at transmit time
+/// (the RNG draw order must not depend on switch queueing).
+struct SwitchFrame {
+    frame: Bytes,
+    ip_len: usize,
+    /// Reorder jitter drawn at transmit, applied at delivery.
+    jitter: Option<TimeDelta>,
+    /// Duplicate decision drawn at transmit.
+    dup: bool,
+}
+
+/// The cluster switch plus its testbed-side plumbing.
+struct SwitchState {
+    model: Switch<SwitchFrame>,
+    /// Reusable arbitration output buffers (zero steady-state allocation).
+    deliveries: Vec<Delivery<SwitchFrame>>,
+    drops: Vec<TailDrop<SwitchFrame>>,
+    /// Per-egress-port metrics mirrors: (frames forwarded, tail drops).
+    port_metrics: Vec<(Counter, Counter)>,
+}
+
+/// The simulated world: N nodes and the network between them —
+/// point-to-point wires for [`ClusterTestbed::transparent_pair`], a
+/// store-and-forward switch for [`ClusterTestbed::switched`].
+pub struct ClusterTestbed {
     cfg: NicConfig,
     nodes: Vec<Node>,
     /// Egress serializers: `links[n]` is node n's transmit direction.
     links: Vec<LinkSerializer>,
     queue: EventQueue<Event>,
     rng: SimRng,
-    /// Per-transmit-direction fault-model state (`fault_state[n]` is the
-    /// Gilbert–Elliott chain for frames *sent by* node n).
-    fault_state: [LinkFaultState; 2],
+    /// Per-directed-pair fault-model state: `fault_state[src * n + dst]`
+    /// is the Gilbert–Elliott chain for frames sent by `src` to `dst`.
+    fault_state: Vec<LinkFaultState>,
+    /// Per-destination-port fault-model overrides (`None` = the global
+    /// model in `cfg.fault`); lets a chaos run degrade one switch port
+    /// while the others stay healthy.
+    port_fault: Vec<Option<LinkFaultModel>>,
+    /// The cluster switch, absent in transparent (point-to-point) mode.
+    switch: Option<SwitchState>,
+    /// Destination node per (source node, queue pair), recorded by
+    /// [`ClusterTestbed::connect_qp_between`].
+    qp_peer: HashMap<(NodeId, Qpn), NodeId>,
     /// Completion time and outcome per (node, handle).
     completions: HashMap<(NodeId, u64), (Time, CompletionStatus)>,
     /// Protocol wr_id → testbed handle.
@@ -172,7 +243,7 @@ pub struct Testbed {
     /// Latest scheduled frame arrival per receiving node. The RX path is
     /// a FIFO: a short packet's smaller store-and-forward delay must not
     /// let it overtake an earlier, larger packet on the same wire.
-    last_arrival: [Time; 2],
+    last_arrival: Vec<Time>,
     /// Reusable transmit frame buffers (zero-allocation steady state).
     pool: FramePool,
     /// Testbed-level trace sink (disabled until [`Testbed::enable_tracing`]).
@@ -187,10 +258,6 @@ pub struct Testbed {
     /// Post time and operation kind per (node, handle), consumed when the
     /// work request completes to feed the latency histograms.
     post_info: HashMap<(NodeId, u64), (Time, LatKind)>,
-    /// Whether `STROM_TRACE` was set at construction — cached so the
-    /// hottest loop in the codebase does not re-query the environment on
-    /// every event.
-    trace_env: bool,
     /// Reusable buffer for [`Self::step_batch`] (zero steady-state
     /// allocation).
     batch_buf: Vec<strom_sim::Scheduled<Event>>,
@@ -214,9 +281,32 @@ impl LatKind {
     }
 }
 
-impl Testbed {
-    /// Builds a two-node testbed from a configuration.
-    pub fn new(cfg: NicConfig) -> Self {
+impl ClusterTestbed {
+    /// Builds the two-node point-to-point geometry of the original
+    /// testbed: no switch in the path, frames serialize on the sender's
+    /// link and arrive after propagation + RX store-and-forward. All
+    /// timing, RNG draws, and telemetry are bit-identical to the
+    /// pre-cluster `Testbed` (the chaos-soak fingerprints and the pcap
+    /// golden fixture pin this).
+    pub fn transparent_pair(cfg: NicConfig) -> Self {
+        Self::build(cfg, 2, None)
+    }
+
+    /// Builds `n` nodes around a deterministic store-and-forward switch:
+    /// every frame serializes on the sender's link, propagates to the
+    /// switch, waits out the switching latency, wins a round-robin
+    /// grant, serializes on the egress port (or tail-drops at the queue
+    /// bound), and then propagates on to the receiver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn switched(cfg: NicConfig, n: usize, params: SwitchParams) -> Self {
+        assert!(n >= 2, "a cluster needs at least two nodes");
+        Self::build(cfg, n, Some(params))
+    }
+
+    fn build(cfg: NicConfig, n: usize, switch: Option<SwitchParams>) -> Self {
         let node = |seed: u64| Node {
             mem: HostMemory::new(),
             tlb: Tlb::new(),
@@ -242,27 +332,46 @@ impl Testbed {
             metrics.histogram("latency.read_ps"),
             metrics.histogram("latency.rpc_ps"),
         ];
+        let switch = switch.map(|params| SwitchState {
+            model: Switch::new(SwitchConfig {
+                ports: n,
+                port_rate: params.port_rate.unwrap_or(cfg.link_bandwidth),
+                latency: params.latency,
+                egress_capacity: params.egress_capacity,
+            }),
+            deliveries: Vec::new(),
+            drops: Vec::new(),
+            port_metrics: (0..n)
+                .map(|p| {
+                    (
+                        metrics.counter(&format!("switch.port{p}.frames_out")),
+                        metrics.counter(&format!("switch.port{p}.tail_drops")),
+                    )
+                })
+                .collect(),
+        });
         Self {
-            nodes: vec![node(cfg.seed ^ 0xA), node(cfg.seed ^ 0xB)],
-            links: vec![
-                LinkSerializer::new(cfg.link_bandwidth),
-                LinkSerializer::new(cfg.link_bandwidth),
-            ],
+            nodes: (0..n).map(|i| node(cfg.seed ^ (0xA + i as u64))).collect(),
+            links: (0..n)
+                .map(|_| LinkSerializer::new(cfg.link_bandwidth))
+                .collect(),
             queue: EventQueue::new(),
             rng: SimRng::seed(cfg.seed),
-            fault_state: [LinkFaultState::default(); 2],
+            fault_state: vec![LinkFaultState::default(); n * n],
+            port_fault: vec![None; n],
+            switch,
+            qp_peer: HashMap::new(),
             completions: HashMap::new(),
             wr_map: HashMap::new(),
             next_handle: 1,
             watches: Vec::new(),
-            last_arrival: [0, 0],
+            last_arrival: vec![0; n],
             pool: FramePool::default(),
             trace: TraceSink::default(),
             metrics,
             lat,
             capture: None,
             post_info: HashMap::new(),
-            trace_env: std::env::var_os("STROM_TRACE").is_some(),
             batch_buf: Vec::new(),
             cfg,
         }
@@ -385,12 +494,64 @@ impl Testbed {
         base
     }
 
-    /// Initializes a queue pair on both nodes (the out-of-band connection
-    /// setup RoCE performs before one-sided traffic).
+    /// Initializes a queue pair between nodes 0 and 1 (the out-of-band
+    /// connection setup RoCE performs before one-sided traffic) — the
+    /// original two-host API.
     pub fn connect_qp(&mut self, qpn: Qpn) {
+        self.connect_qp_between(0, 1, qpn);
+    }
+
+    /// Initializes a queue pair between two specific nodes; subsequent
+    /// traffic posted on `qpn` from either endpoint is routed to the
+    /// other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn connect_qp_between(&mut self, a: NodeId, b: NodeId, qpn: Qpn) {
+        assert_ne!(a, b, "a queue pair connects two distinct nodes");
         // Both directions start at PSN 0 for reproducibility.
-        self.nodes[0].state.init_qp(qpn, 0, 0);
-        self.nodes[1].state.init_qp(qpn, 0, 0);
+        self.nodes[a].state.init_qp(qpn, 0, 0);
+        self.nodes[b].state.init_qp(qpn, 0, 0);
+        self.qp_peer.insert((a, qpn), b);
+        self.qp_peer.insert((b, qpn), a);
+    }
+
+    /// Number of nodes in the testbed.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node at the far end of `qpn` as seen from `node`.
+    fn peer_of(&self, node: NodeId, qpn: Qpn) -> NodeId {
+        match self.qp_peer.get(&(node, qpn)) {
+            Some(&peer) => peer,
+            // Pre-cluster QPs were implicitly 0 ↔ 1; keep that default so
+            // two-node flows that skip connect_qp (e.g. raw ACK probes)
+            // behave as before.
+            None => {
+                debug_assert!(
+                    self.nodes.len() == 2,
+                    "unconnected qpn {qpn} on node {node}"
+                );
+                1 - node
+            }
+        }
+    }
+
+    /// The switch's forwarding counters for one port, when running in
+    /// switched mode.
+    pub fn switch_counters(&self, port: usize) -> Option<SwitchPortCounters> {
+        self.switch.as_ref().map(|s| s.model.counters(port))
+    }
+
+    /// Total frames tail-dropped across all switch egress ports (0 in
+    /// transparent mode).
+    pub fn switch_tail_drops(&self) -> u64 {
+        self.switch
+            .as_ref()
+            .map(|s| s.model.total_tail_drops())
+            .unwrap_or(0)
     }
 
     /// Deploys a StRoM kernel on `node` (§5.1 multi-kernel deployment).
@@ -451,10 +612,30 @@ impl Testbed {
     /// Installs a composable link fault model (loss, corruption,
     /// reordering, duplication) and resets the per-direction loss-model
     /// state, so the chaos schedule is fully determined by the model plus
-    /// the testbed seed.
+    /// the testbed seed. Clears any per-port overrides.
     pub fn set_fault_model(&mut self, model: LinkFaultModel) {
         self.cfg.fault = model;
-        self.fault_state = [LinkFaultState::default(); 2];
+        self.fault_state = vec![LinkFaultState::default(); self.nodes.len() * self.nodes.len()];
+        self.port_fault = vec![None; self.nodes.len()];
+    }
+
+    /// Overrides the fault model for all traffic *toward* `dst` (the
+    /// switch egress port facing that node), leaving other ports on the
+    /// global model — a chaos run can degrade one port while the rest of
+    /// the cluster stays healthy. Resets the fault state of the affected
+    /// directed pairs.
+    pub fn set_port_fault_model(&mut self, dst: NodeId, model: LinkFaultModel) {
+        let n = self.nodes.len();
+        assert!(dst < n, "port out of range");
+        self.port_fault[dst] = Some(model);
+        for src in 0..n {
+            self.fault_state[src * n + dst] = LinkFaultState::default();
+        }
+    }
+
+    /// The fault model in force for frames from `src` to `dst`.
+    fn fault_model_for(&self, _src: NodeId, dst: NodeId) -> LinkFaultModel {
+        self.port_fault[dst].unwrap_or(self.cfg.fault)
     }
 
     /// Whether `qpn` on `node` is in the terminal error state (retry
@@ -463,54 +644,62 @@ impl Testbed {
         self.nodes[node].requester.is_errored(qpn)
     }
 
-    /// Performs network bring-up: each node broadcasts an ARP who-has for
-    /// its peer and answers the peer's request, populating both resolution
-    /// caches over the simulated wire (§4.1: "we use an open source module
-    /// to handle the Address Resolution Protocol"). Returns the time at
-    /// which both caches are populated.
+    /// Performs network bring-up: each node sends an ARP who-has for
+    /// every peer and answers the peers' requests, populating all
+    /// resolution caches over the simulated wire (§4.1: "we use an open
+    /// source module to handle the Address Resolution Protocol"). Returns
+    /// the time at which every cache is populated.
     pub fn bring_up(&mut self) -> Time {
         use strom_wire::arp::ArpPacket;
         use strom_wire::ethernet::MacAddr;
         use strom_wire::ipv4::Ipv4Addr;
-        for node in 0..2usize {
-            let peer = 1 - node;
-            let req = ArpPacket::request(
-                MacAddr::from_node_id(node as u32),
-                Ipv4Addr::from_node_id(node as u8),
-                Ipv4Addr::from_node_id(peer as u8),
-            );
-            self.send_arp(node, &req);
+        let n = self.nodes.len();
+        for node in 0..n {
+            for peer in 0..n {
+                if peer == node {
+                    continue;
+                }
+                let req = ArpPacket::request(
+                    MacAddr::from_node_id(node as u32),
+                    Ipv4Addr::from_node_id(node as u8),
+                    Ipv4Addr::from_node_id(peer as u8),
+                );
+                self.send_arp(node, peer, &req);
+            }
         }
         self.run_until_idle();
-        assert!(
-            self.resolved(0) && self.resolved(1),
-            "bring-up must resolve both peers"
-        );
+        for node in 0..n {
+            assert!(self.resolved(node), "bring-up must resolve every peer");
+        }
         self.now()
     }
 
-    /// Whether `node` has resolved its peer's MAC address.
+    /// Whether `node` has resolved every peer's MAC address.
     pub fn resolved(&self, node: NodeId) -> bool {
-        let peer = 1 - node;
-        self.nodes[node]
-            .arp
-            .lookup(strom_wire::ipv4::Ipv4Addr::from_node_id(peer as u8))
-            .is_some()
+        (0..self.nodes.len()).filter(|&p| p != node).all(|peer| {
+            self.nodes[node]
+                .arp
+                .lookup(strom_wire::ipv4::Ipv4Addr::from_node_id(peer as u8))
+                .is_some()
+        })
     }
 
-    fn send_arp(&mut self, node: NodeId, pkt: &strom_wire::arp::ArpPacket) {
+    /// Transmits an ARP body to `dst`. ARP rides a bare minimum-size
+    /// Ethernet frame in this model, below the RoCE datapath — it is
+    /// delivered point-to-point even in switched mode (bring-up is
+    /// control-plane traffic; the switch model concerns itself with the
+    /// RoCE frames the experiments measure).
+    fn send_arp(&mut self, node: NodeId, dst: NodeId, pkt: &strom_wire::arp::ArpPacket) {
         let now = self.queue.now();
-        let peer = 1 - node;
         let frame = pkt.encode();
-        // ARP rides a minimum-size Ethernet frame.
         let wire_bytes = strom_wire::ethernet::wire_bytes(frame.len()) as u64;
         let tx_ready = now + self.cfg.tx_pipeline_time();
         let (_, wire_end) = self.links[node].admit(tx_ready, wire_bytes);
         let arrival = (wire_end + self.cfg.propagation + self.cfg.rx_pipeline_time())
-            .max(self.last_arrival[peer] + self.cfg.clock.period_ps());
-        self.last_arrival[peer] = arrival;
+            .max(self.last_arrival[dst] + self.cfg.clock.period_ps());
+        self.last_arrival[dst] = arrival;
         self.queue
-            .schedule_at(arrival, Event::ArpArrive { node: peer, frame });
+            .schedule_at(arrival, Event::ArpArrive { node: dst, frame });
     }
 
     fn on_arp(&mut self, node: NodeId, frame: &[u8], _now: Time) {
@@ -527,7 +716,14 @@ impl Testbed {
         let my_ip = Ipv4Addr::from_node_id(node as u8);
         let my_mac = MacAddr::from_node_id(node as u32);
         if let Some(reply) = self.nodes[node].arp.on_packet(&pkt, my_ip, my_mac) {
-            self.send_arp(node, &reply);
+            // The reply's target is the requester; its IP names the node.
+            let dst = reply
+                .target_ip
+                .node_id()
+                .map(usize::from)
+                .filter(|&d| d < self.nodes.len())
+                .expect("ARP requester is a testbed node");
+            self.send_arp(node, dst, &reply);
         }
     }
 
@@ -725,15 +921,6 @@ impl Testbed {
     }
 
     fn dispatch_event(&mut self, event: Event, now: Time) {
-        if self.trace_env {
-            eprintln!(
-                "[{now}] {:?} pending={} retx={} deadline0={:?}",
-                EventKind::of(&event),
-                self.queue.pending(),
-                self.nodes[0].requester.retransmissions(),
-                self.nodes[0].timer.next_deadline()
-            );
-        }
         match event {
             Event::CmdArrive {
                 node,
@@ -753,6 +940,7 @@ impl Testbed {
                 len,
             } => self.on_kernel_read_done(node, op, tag, vaddr, len, now),
             Event::RetransmitCheck { node } => self.on_retransmit_check(node, now),
+            Event::SwitchTick => self.on_switch_tick(now),
             Event::ArpArrive { node, frame } => self.on_arp(node, &frame, now),
         }
     }
@@ -936,6 +1124,16 @@ impl Testbed {
     }
 
     fn on_retransmit_check(&mut self, node: NodeId, now: Time) {
+        // Only the live check — the one `schedule_check` most recently
+        // filed — may act. Re-arming at an *earlier* deadline orphans the
+        // previously queued event; if an orphan were allowed to clear the
+        // dedup state and fall through to `schedule_check`, every orphan
+        // would mint a fresh duplicate on each firing and the duplicate
+        // population would never decay (a self-sustaining event storm
+        // under congestion-driven retransmission).
+        if self.nodes[node].check_at != Some(now) {
+            return;
+        }
         self.nodes[node].check_at = None;
         let expired = self.nodes[node].timer.expired(now);
         for qpn in expired {
@@ -1166,7 +1364,7 @@ impl Testbed {
                 }
             }
         }
-        let peer = 1 - node;
+        let peer = self.peer_of(node, desc.qpn);
         let pkt = Packet::new(
             node as u32,
             peer as u32,
@@ -1177,7 +1375,7 @@ impl Testbed {
             None,
             payload,
         );
-        self.send_packet(node, pkt, payload_ready, true);
+        self.send_packet(node, peer, pkt, payload_ready, true);
     }
 
     fn send_ack(
@@ -1189,7 +1387,7 @@ impl Testbed {
         syndrome: AethSyndrome,
         now: Time,
     ) {
-        let peer = 1 - node;
+        let peer = self.peer_of(node, qpn);
         let pkt = Packet::new(
             node as u32,
             peer as u32,
@@ -1200,7 +1398,7 @@ impl Testbed {
             Some(Aeth { syndrome, msn }),
             Bytes::new(),
         );
-        self.send_packet(node, pkt, now, false);
+        self.send_packet(node, peer, pkt, now, false);
     }
 
     fn send_read_response(
@@ -1230,7 +1428,7 @@ impl Testbed {
                 syndrome: AethSyndrome::Ack,
                 msn,
             });
-            let peer = 1 - node;
+            let peer = self.peer_of(node, qpn);
             let pkt = Packet::new(
                 node as u32,
                 peer as u32,
@@ -1241,14 +1439,23 @@ impl Testbed {
                 aeth,
                 chunk,
             );
-            self.send_packet(node, pkt, ready, false);
+            self.send_packet(node, peer, pkt, ready, false);
         }
     }
 
-    /// Puts a packet on the wire: TX pipeline, link serialization,
-    /// propagation, RX store-and-forward + pipeline; schedules the
-    /// arrival. Arms the retransmission timer for request packets.
-    fn send_packet(&mut self, node: NodeId, pkt: Packet, payload_ready: Time, arm_timer: bool) {
+    /// Puts a packet on the wire toward `peer`: TX pipeline, link
+    /// serialization, then either the direct point-to-point path
+    /// (transparent mode) or the switch (ingress latency, arbitration,
+    /// egress serialization). Arms the retransmission timer for request
+    /// packets.
+    fn send_packet(
+        &mut self,
+        node: NodeId,
+        peer: NodeId,
+        pkt: Packet,
+        payload_ready: Time,
+        arm_timer: bool,
+    ) {
         let now = self.queue.now();
         let tx_ready = (now + self.cfg.tx_pipeline_time()).max(payload_ready);
         let wire_bytes = pkt.wire_bytes() as u64;
@@ -1266,13 +1473,15 @@ impl Testbed {
             psn: pkt.bth.psn,
             wire_bytes: wire_bytes as u32,
         });
-        let peer = 1 - node;
         // Fault pipeline, in wire order: a frame is first subject to loss,
         // then (if it survives) to corruption, reordering, and
         // duplication. Decisions draw from the testbed RNG in this fixed
-        // order, so a chaos run replays exactly from (seed, fault model).
-        let fault = self.cfg.fault;
-        if fault.should_drop(&mut self.fault_state[node], &mut self.rng) {
+        // order — and always at transmit time, never from inside the
+        // switch — so a chaos run replays exactly from (seed, fault
+        // model) regardless of switch queueing.
+        let n = self.nodes.len();
+        let fault = self.fault_model_for(node, peer);
+        if fault.should_drop(&mut self.fault_state[node * n + peer], &mut self.rng) {
             self.nodes[peer].counters.frames_lost += 1;
             self.trace.emit(TraceEvent::PacketDrop {
                 node: peer as u8,
@@ -1280,11 +1489,6 @@ impl Testbed {
             });
             return;
         }
-        let arrival = (wire_end
-            + self.cfg.propagation
-            + self.cfg.store_and_forward_time(ip_len)
-            + self.cfg.rx_pipeline_time())
-        .max(self.last_arrival[peer] + self.cfg.clock.period_ps());
         // Encode into a pooled buffer (single pass, no intermediate
         // allocation) and flip fault-injected bits in place while the
         // buffer is still mutable — then freeze it into `Bytes` for
@@ -1303,35 +1507,129 @@ impl Testbed {
             // with the serialization end time.
             cap.record(wire_end, &frame);
         }
-        let arrival = match if fault.reorder_rate > 0.0 {
+        let jitter = if fault.reorder_rate > 0.0 {
             fault.reorder_delay(&mut self.rng)
         } else {
             None
-        } {
+        };
+        if jitter.is_some() {
+            self.nodes[peer].counters.frames_reordered += 1;
+        }
+        let dup = fault.duplicate_rate > 0.0 && fault.should_duplicate(&mut self.rng);
+        if dup {
+            self.nodes[peer].counters.frames_duplicated += 1;
+        }
+        match &mut self.switch {
+            None => {
+                let arrival = (wire_end
+                    + self.cfg.propagation
+                    + self.cfg.store_and_forward_time(ip_len)
+                    + self.cfg.rx_pipeline_time())
+                .max(self.last_arrival[peer] + self.cfg.clock.period_ps());
+                self.deliver_frame(peer, frame, arrival, jitter, dup);
+            }
+            Some(sw) => {
+                // The frame reaches the switch after propagating from the
+                // NIC; it leaves once it wins arbitration and serializes
+                // on the egress port. Delivery continues in
+                // `on_switch_tick`.
+                let received = wire_end + self.cfg.propagation;
+                let eligible = sw.model.enqueue(
+                    node,
+                    peer,
+                    wire_bytes,
+                    received,
+                    SwitchFrame {
+                        frame,
+                        ip_len,
+                        jitter,
+                        dup,
+                    },
+                );
+                self.queue.schedule_at(eligible, Event::SwitchTick);
+            }
+        }
+    }
+
+    /// Schedules a frame's arrival at `dst`, applying the transmit-time
+    /// reorder/duplicate decisions. `arrival` is the nominal in-order
+    /// arrival time (already clamped to the receiver's FIFO).
+    fn deliver_frame(
+        &mut self,
+        dst: NodeId,
+        frame: Bytes,
+        arrival: Time,
+        jitter: Option<TimeDelta>,
+        dup: bool,
+    ) {
+        let arrival = match jitter {
             Some(jitter) => {
                 // Held back by jitter — and deliberately NOT recorded in
                 // last_arrival, so frames behind it overtake it (the FIFO
                 // clamp is what normally forbids that).
-                self.nodes[peer].counters.frames_reordered += 1;
                 arrival + jitter
             }
             None => {
-                self.last_arrival[peer] = arrival;
+                self.last_arrival[dst] = arrival;
                 arrival
             }
         };
-        if fault.duplicate_rate > 0.0 && fault.should_duplicate(&mut self.rng) {
-            self.nodes[peer].counters.frames_duplicated += 1;
+        if dup {
             self.queue.schedule_at(
                 arrival + self.cfg.clock.period_ps(),
                 Event::FrameArrive {
-                    node: peer,
+                    node: dst,
                     frame: frame.clone(),
                 },
             );
         }
         self.queue
-            .schedule_at(arrival, Event::FrameArrive { node: peer, frame });
+            .schedule_at(arrival, Event::FrameArrive { node: dst, frame });
+    }
+
+    /// Runs one switch arbitration pass: grants eligible ingress frames,
+    /// emits tail-drops as traced packet drops (the retransmission
+    /// machinery recovers them like any loss), and schedules granted
+    /// frames' arrivals after egress serialization + propagation + the
+    /// receiver's store-and-forward and RX pipeline.
+    fn on_switch_tick(&mut self, now: Time) {
+        let Some(sw) = self.switch.as_mut() else {
+            return;
+        };
+        let mut deliveries = std::mem::take(&mut sw.deliveries);
+        let mut drops = std::mem::take(&mut sw.drops);
+        sw.model.arbitrate(now, &mut deliveries, &mut drops);
+        for d in drops.drain(..) {
+            self.trace.emit(TraceEvent::PacketDrop {
+                node: d.dst as u8,
+                reason: DropReason::TailDrop,
+            });
+            if let Some(sw) = self.switch.as_ref() {
+                sw.port_metrics[d.dst].1.inc();
+            }
+            self.pool.put(d.payload.frame);
+        }
+        for d in deliveries.drain(..) {
+            if let Some(sw) = self.switch.as_ref() {
+                sw.port_metrics[d.dst].0.inc();
+            }
+            let arrival = (d.egress_end
+                + self.cfg.propagation
+                + self.cfg.store_and_forward_time(d.payload.ip_len)
+                + self.cfg.rx_pipeline_time())
+            .max(self.last_arrival[d.dst] + self.cfg.clock.period_ps());
+            self.deliver_frame(
+                d.dst,
+                d.payload.frame,
+                arrival,
+                d.payload.jitter,
+                d.payload.dup,
+            );
+        }
+        if let Some(sw) = self.switch.as_mut() {
+            sw.deliveries = deliveries;
+            sw.drops = drops;
+        }
     }
 
     // ----- helpers ----------------------------------------------------------
@@ -1469,9 +1767,11 @@ impl Testbed {
         match self.nodes[node].check_at {
             Some(t) if t <= deadline => {}
             _ => {
-                self.queue
-                    .schedule_at(deadline, Event::RetransmitCheck { node });
-                self.nodes[node].check_at = Some(deadline);
+                // The queue clamps past times to `now`; record the clamped
+                // time so the firing event matches `check_at` exactly.
+                let at = deadline.max(self.queue.now());
+                self.queue.schedule_at(at, Event::RetransmitCheck { node });
+                self.nodes[node].check_at = Some(at);
             }
         }
     }
@@ -1511,46 +1811,42 @@ impl Testbed {
     }
 }
 
+/// The original two-node point-to-point testbed, now a thin wrapper over
+/// [`ClusterTestbed::transparent_pair`]: same API (every `ClusterTestbed`
+/// method is reachable through `Deref`), same timing, same RNG draws,
+/// bit-identical traces — the chaos-soak fingerprints and the pcap
+/// golden fixture pin the equivalence.
+pub struct Testbed(ClusterTestbed);
+
+impl Testbed {
+    /// Builds a two-node testbed from a configuration.
+    pub fn new(cfg: NicConfig) -> Self {
+        Testbed(ClusterTestbed::transparent_pair(cfg))
+    }
+
+    /// Unwraps into the underlying [`ClusterTestbed`].
+    pub fn into_cluster(self) -> ClusterTestbed {
+        self.0
+    }
+}
+
+impl std::ops::Deref for Testbed {
+    type Target = ClusterTestbed;
+
+    fn deref(&self) -> &ClusterTestbed {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for Testbed {
+    fn deref_mut(&mut self) -> &mut ClusterTestbed {
+        &mut self.0
+    }
+}
+
 /// Extra simulated-time padding helper.
 pub fn micros(us: u64) -> TimeDelta {
     us * strom_sim::time::MICROS
-}
-
-/// Coarse event classification for `STROM_TRACE` debugging output.
-#[derive(Debug)]
-#[allow(dead_code)] // Fields are read through the `Debug` impl only.
-enum EventKind {
-    Cmd,
-    Frame(String),
-    DmaWrite(usize),
-    KernelRead,
-    Retransmit,
-    Arp,
-}
-
-impl EventKind {
-    fn of(ev: &Event) -> EventKind {
-        match ev {
-            Event::CmdArrive { .. } => EventKind::Cmd,
-            Event::FrameArrive { frame, .. } => {
-                let desc = match Packet::parse(frame) {
-                    Ok(p) => format!(
-                        "{:?} qp={} psn={} aeth={:?}",
-                        p.opcode(),
-                        p.bth.dest_qp,
-                        p.bth.psn,
-                        p.aeth
-                    ),
-                    Err(e) => format!("unparseable: {e}"),
-                };
-                EventKind::Frame(desc)
-            }
-            Event::DmaWriteDone { data, .. } => EventKind::DmaWrite(data.len()),
-            Event::KernelDmaReadDone { .. } => EventKind::KernelRead,
-            Event::RetransmitCheck { .. } => EventKind::Retransmit,
-            Event::ArpArrive { .. } => EventKind::Arp,
-        }
-    }
 }
 
 #[cfg(test)]

@@ -215,6 +215,12 @@ struct ReadTrack {
 struct QpRequester {
     outstanding: VecDeque<OutstandingMessage>,
     reads: VecDeque<ReadTrack>,
+    /// Highest cumulatively acknowledged PSN. Go-back-N resumes *after*
+    /// this watermark (IB: the oldest unacknowledged PSN), so a timeout
+    /// mid-message never re-sends the already-delivered prefix — under
+    /// sustained congestion a full-message restart can livelock, with the
+    /// responder's expected PSN falling on the same dropped slot forever.
+    acked: Option<Psn>,
     /// Terminal error state: the retry budget was exhausted. The QP
     /// accepts no new work and never retransmits again.
     errored: bool,
@@ -501,6 +507,14 @@ impl Requester {
         let Some(qp) = self.qps.get_mut(qpn as usize) else {
             return Vec::new();
         };
+        // Raise the cumulative-ack watermark (never lower it — stale
+        // duplicate ACKs arrive out of order under retransmission).
+        if qp
+            .acked
+            .is_none_or(|a| psn_cmp(psn, a) == std::cmp::Ordering::Greater)
+        {
+            qp.acked = Some(psn);
+        }
         let mut out = Vec::new();
         while let Some(front) = qp.outstanding.front() {
             if psn_cmp(front.last_psn, psn) != std::cmp::Ordering::Greater {
@@ -637,6 +651,14 @@ impl Requester {
         let mut out = Vec::new();
         for msg in &qp.outstanding {
             for pkt in &msg.packets {
+                // Never re-send the cumulatively acknowledged prefix:
+                // go-back-N resumes at the oldest *unacknowledged* PSN.
+                if qp
+                    .acked
+                    .is_some_and(|a| psn_cmp(pkt.psn, a) != std::cmp::Ordering::Greater)
+                {
+                    continue;
+                }
                 if everything || psn_cmp(pkt.psn, from_psn) != std::cmp::Ordering::Less {
                     out.push(pkt.clone());
                 }
@@ -824,6 +846,49 @@ mod tests {
         let retx = r.on_timeout(2);
         assert_eq!(retx, pkts);
         assert_eq!(r.retransmissions(), 3);
+    }
+
+    #[test]
+    fn timeout_skips_the_cumulatively_acked_prefix() {
+        let (mut st, mut r) = setup();
+        r.post(
+            &mut st,
+            2,
+            WorkRequest::Write {
+                remote_vaddr: 0,
+                local_vaddr: 0,
+                len: 4000, // 3 segments: PSNs 0, 1, 2.
+            },
+        )
+        .unwrap();
+        // The responder acknowledged PSNs 0 and 1; only the tail may be
+        // re-sent — restarting the delivered prefix on every timeout can
+        // livelock against a deterministic congestion drop pattern.
+        let (comps, retx) = r.on_ack(
+            &mut st,
+            2,
+            1,
+            Aeth {
+                syndrome: AethSyndrome::Ack,
+                msn: 0,
+            },
+        );
+        assert!(comps.is_empty(), "mid-message ack completes nothing");
+        assert!(retx.is_empty());
+        let retx = r.on_timeout(2);
+        assert_eq!(retx.len(), 1, "only the unacked tail retransmits");
+        assert_eq!(retx[0].psn, 2);
+        // A stale duplicate ack must not lower the watermark.
+        let _ = r.on_ack(
+            &mut st,
+            2,
+            0,
+            Aeth {
+                syndrome: AethSyndrome::Ack,
+                msn: 0,
+            },
+        );
+        assert_eq!(r.on_timeout(2).len(), 1);
     }
 
     #[test]

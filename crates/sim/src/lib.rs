@@ -20,6 +20,7 @@ pub mod rate;
 pub mod report;
 pub mod rng;
 pub mod stats;
+pub mod switch;
 pub mod time;
 pub mod wheel;
 
@@ -29,4 +30,5 @@ pub use parallel::{default_workers, parallel_map};
 pub use rate::{Bandwidth, LinkSerializer};
 pub use rng::SimRng;
 pub use stats::{LatencySummary, Samples};
+pub use switch::{Delivery, Switch, SwitchConfig, SwitchPortCounters, TailDrop};
 pub use time::{Clock, Time, TimeDelta};

@@ -26,6 +26,9 @@ pub enum DropReason {
     Corruption,
     /// The frame failed structural parsing.
     Malformed,
+    /// The switch's bounded egress queue was full (tail-drop); `node` in
+    /// the event is the destination whose port overflowed.
+    TailDrop,
 }
 
 /// Coarse queue-pair state for transition events.

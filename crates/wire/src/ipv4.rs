@@ -18,6 +18,16 @@ impl Ipv4Addr {
     pub fn from_node_id(id: u8) -> Self {
         Ipv4Addr([10, 1, 212, id])
     }
+
+    /// The node id of a testbed address (the inverse of
+    /// [`Ipv4Addr::from_node_id`]), or `None` for an address outside the
+    /// testbed subnet.
+    pub fn node_id(&self) -> Option<u8> {
+        match self.0 {
+            [10, 1, 212, id] => Some(id),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Ipv4Addr {

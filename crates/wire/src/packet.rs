@@ -215,10 +215,19 @@ impl Packet {
         } else {
             (None, rest)
         };
-        // `rest` is the payload: it ends exactly ICRC_LEN bytes before the
-        // frame's end, so recover its offset from the lengths and slice.
-        let payload_end = frame.len() - icrc::ICRC_LEN;
-        let payload_start = payload_end - rest.len();
+        // `rest` is the payload. Recover its offset in `frame` from the
+        // header structure alone: the RoCE region always starts right
+        // after the fixed Ethernet + IPv4 + UDP headers, and the headers
+        // consumed `body.len() - rest.len()` of it. Deriving the offset
+        // from the *physical* frame tail instead would silently shift the
+        // payload into any trailing bytes beyond the IP datagram (e.g.
+        // Ethernet minimum-frame padding), which the length-bounded
+        // header stages and the ICRC never look at.
+        let payload_start = ethernet::ETHERNET_HEADER_LEN
+            + crate::ipv4::IPV4_HEADER_LEN
+            + crate::udp::UDP_HEADER_LEN
+            + (body.len() - rest.len());
+        let payload_end = payload_start + rest.len();
         Ok(Packet {
             dst_mac,
             src_mac,
@@ -350,6 +359,19 @@ mod tests {
         // 64 B payload + 14 eth + 20 ip + 8 udp + 12 bth + 16 reth + 4 icrc
         // + 4 fcs + 20 preamble/ipg.
         assert_eq!(p.wire_bytes(), 64 + 14 + 20 + 8 + 12 + 16 + 4 + 4 + 20);
+    }
+
+    #[test]
+    fn trailing_bytes_beyond_the_ip_datagram_do_not_shift_the_payload() {
+        // The IP total-length field bounds every parse stage, so bytes
+        // appended after the ICRC (e.g. Ethernet minimum-frame padding)
+        // must be ignored — the payload slice is recovered from header
+        // offsets, not the physical frame tail.
+        let p = write_only(b"short");
+        let mut frame = p.encode();
+        frame.extend_from_slice(&[0xEE; 13]);
+        let parsed = Packet::parse(&Bytes::from(frame)).unwrap();
+        assert_eq!(parsed, p);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Structure-aware fuzzing of the RX parse pipeline.
+//!
+//! The harness starts from *valid* frames (every opcode family, random
+//! headers and payloads), then applies seeded [`SimRng`] mutations that
+//! mimic what a hostile or broken link can do to real traffic:
+//! single/multi bit flips, truncation, extension with trailing junk,
+//! zero-fill, random-garbage frames, and field splices (a region of one
+//! valid frame transplanted into another — well-formed bytes in the
+//! wrong place, the classic parser trap).
+//!
+//! The contract under test, for every mutant:
+//!
+//! 1. [`Packet::parse`] never panics.
+//! 2. If it returns `Ok`, every ICRC-protected field (BTH, RETH, AETH,
+//!    payload) is *byte-identical* to some validly encoded packet — a
+//!    mutant either round-trips or is rejected; there is no silent
+//!    mis-parse. (The genuinely unprotected bytes — Ethernet MACs, the
+//!    UDP source port, the UDP checksum field, and bytes beyond the IP
+//!    datagram — may differ; real RoCE v2 does not cover them either.)
+//! 3. Corruption of protected bytes is *observed*: across each corpus
+//!    the ICRC rejection counter is incremented, alongside the earlier
+//!    pipeline stages' counters.
+//!
+//! Seeds are fixed, so every CI run explores the same corpus.
+
+use bytes::Bytes;
+
+use strom_sim::SimRng;
+use strom_wire::bth::{Aeth, AethSyndrome, Reth};
+use strom_wire::opcode::Opcode;
+use strom_wire::packet::{Packet, PacketError};
+
+/// Bytes of the frame that the pipeline genuinely does not protect:
+/// destination + source MAC (0..12; the FCS is timing-only in the
+/// simulation, as documented in `strom_wire::ethernet`), the UDP source
+/// port (34..36; a variable field the ICRC masks out), and the UDP
+/// checksum (40..42; zero by RoCE v2 convention, not validated).
+fn unprotected(i: usize) -> bool {
+    i < 12 || (34..36).contains(&i) || (40..42).contains(&i)
+}
+
+/// A random valid packet covering every opcode family.
+fn rand_packet(rng: &mut SimRng) -> Packet {
+    let op = Opcode::ALL[rng.below(Opcode::ALL.len() as u64) as usize];
+    let payload = if op.has_payload() {
+        let mut buf = vec![0u8; rng.below(300) as usize];
+        rng.fill_bytes(&mut buf);
+        Bytes::from(buf)
+    } else {
+        Bytes::new()
+    };
+    let reth = op.has_reth().then(|| Reth {
+        vaddr: rng.next_u64(),
+        rkey: rng.next_u64() as u32,
+        dma_len: rng.below(1 << 20) as u32,
+    });
+    let aeth = op.has_aeth().then_some(Aeth {
+        syndrome: AethSyndrome::Ack,
+        msn: rng.below(1 << 24) as u32,
+    });
+    Packet::new(
+        rng.below(4) as u32,
+        rng.below(4) as u32,
+        op,
+        rng.below(1 << 24) as u32,
+        rng.below(1 << 24) as u32,
+        reth,
+        aeth,
+        payload,
+    )
+}
+
+/// Per-stage rejection tallies — the fuzz harness's stand-in for the RX
+/// pipeline drop counters.
+#[derive(Debug, Default)]
+struct Tally {
+    ok_identical: u64,
+    ok_unprotected: u64,
+    rejected_icrc: u64,
+    rejected_other: u64,
+}
+
+impl Tally {
+    /// Classifies one mutant's parse result, enforcing invariant 2.
+    ///
+    /// `original` is the template the mutant derives from; `touched`
+    /// reports whether any *protected* byte inside the original frame
+    /// image could differ (conservative: callers pass `true` unless the
+    /// mutation provably stayed in unprotected or trailing bytes).
+    fn observe(&mut self, original: &Packet, mutant: &Bytes, touched_protected: bool) {
+        match Packet::parse(mutant) {
+            Ok(parsed) => {
+                let protected_equal = parsed.bth == original.bth
+                    && parsed.reth == original.reth
+                    && parsed.aeth == original.aeth
+                    && parsed.payload == original.payload;
+                if protected_equal {
+                    if parsed == *original {
+                        self.ok_identical += 1;
+                    } else {
+                        self.ok_unprotected += 1;
+                    }
+                } else {
+                    // An accepted mutant with different protected fields
+                    // is only legitimate if the mutation rewrote the
+                    // frame so thoroughly that it *is* another valid
+                    // packet (splices can do this). It must then be
+                    // canonical: re-encoding reproduces what was parsed.
+                    assert!(
+                        touched_protected,
+                        "mutation of unprotected bytes changed protected fields"
+                    );
+                    let regression = Packet::parse(&Bytes::from(parsed.encode()))
+                        .expect("re-encoding an accepted packet must parse");
+                    assert_eq!(
+                        regression, parsed,
+                        "accepted mutant is not canonical — silent mis-parse"
+                    );
+                    self.ok_unprotected += 1;
+                }
+            }
+            Err(PacketError::Icrc) => self.rejected_icrc += 1,
+            Err(_) => self.rejected_other += 1,
+        }
+    }
+}
+
+/// Single- and multi-bit flips: every accepted mutant must carry the
+/// original protected fields, and flips of protected bytes must show up
+/// in the ICRC (or an earlier stage's) rejection tally.
+#[test]
+fn bit_flips_round_trip_or_reject() {
+    let mut rng = SimRng::seed(0xF1_2206);
+    let mut tally = Tally::default();
+    for _ in 0..4_000 {
+        let pkt = rand_packet(&mut rng);
+        let mut frame = pkt.encode();
+        let flips = 1 + rng.below(8) as usize;
+        let mut touched = false;
+        for _ in 0..flips {
+            let i = rng.below(frame.len() as u64) as usize;
+            frame[i] ^= 1 << rng.below(8);
+            touched |= !unprotected(i);
+        }
+        tally.observe(&pkt, &Bytes::from(frame), touched);
+    }
+    assert!(tally.rejected_icrc > 0, "no flip reached the ICRC stage");
+    assert!(tally.rejected_other > 0, "no flip tripped an earlier stage");
+    assert!(
+        tally.ok_unprotected > 0,
+        "no flip landed purely in unprotected bytes"
+    );
+}
+
+/// Truncation at every prefix length: never panics, and only parses
+/// when the cut removed nothing of the IP datagram (the length-bounded
+/// stages ignore bytes past it).
+#[test]
+fn truncation_rejects_or_preserves() {
+    let mut rng = SimRng::seed(0x7246_0001);
+    for _ in 0..1_500 {
+        let pkt = rand_packet(&mut rng);
+        let full = pkt.encode();
+        let keep = rng.below(full.len() as u64 + 1) as usize;
+        let frame = Bytes::from(full[..keep].to_vec());
+        match Packet::parse(&frame) {
+            Ok(parsed) => assert_eq!(
+                parsed,
+                pkt,
+                "truncation to {keep} of {} accepted a different packet",
+                full.len()
+            ),
+            Err(_) => assert!(
+                keep < full.len(),
+                "the untruncated frame must parse cleanly"
+            ),
+        }
+    }
+}
+
+/// Appending junk past the encoded frame (oversized reads, minimum-size
+/// padding) must not shift the payload or change any field.
+#[test]
+fn trailing_extension_is_ignored() {
+    let mut rng = SimRng::seed(0xE07E_2206);
+    for _ in 0..1_500 {
+        let pkt = rand_packet(&mut rng);
+        let mut frame = pkt.encode();
+        let mut junk = vec![0u8; 1 + rng.below(64) as usize];
+        rng.fill_bytes(&mut junk);
+        frame.extend_from_slice(&junk);
+        let parsed = Packet::parse(&Bytes::from(frame))
+            .expect("trailing bytes beyond the IP datagram are not the packet's problem");
+        assert_eq!(parsed, pkt, "trailing junk changed the parsed packet");
+    }
+}
+
+/// Field splices: a random region of one valid frame transplanted over
+/// a random region of another. Byte patterns are locally well-formed,
+/// so this is the strongest mis-parse bait the harness has.
+#[test]
+fn splices_never_misparse() {
+    let mut rng = SimRng::seed(0x5911_CE55);
+    let mut tally = Tally::default();
+    for _ in 0..4_000 {
+        let pkt = rand_packet(&mut rng);
+        let donor = rand_packet(&mut rng).encode();
+        let mut frame = pkt.encode();
+        let dst = rng.below(frame.len() as u64) as usize;
+        let src = rng.below(donor.len() as u64) as usize;
+        let len = (1 + rng.below(48) as usize)
+            .min(frame.len() - dst)
+            .min(donor.len() - src);
+        frame[dst..dst + len].copy_from_slice(&donor[src..src + len]);
+        tally.observe(&pkt, &Bytes::from(frame), true);
+    }
+    assert!(tally.rejected_icrc > 0, "no splice reached the ICRC stage");
+    assert!(
+        tally.ok_identical + tally.ok_unprotected > 0,
+        "no splice survived (identical donors / unprotected regions)"
+    );
+}
+
+/// Zero-fill runs (a failing SerDes reads idle symbols) and pure
+/// garbage frames: never panic, never silently mis-parse.
+#[test]
+fn zero_fill_and_garbage_never_panic() {
+    let mut rng = SimRng::seed(0x0BAD_F00D);
+    let mut tally = Tally::default();
+    for _ in 0..2_000 {
+        let pkt = rand_packet(&mut rng);
+        let mut frame = pkt.encode();
+        let at = rng.below(frame.len() as u64) as usize;
+        let len = (1 + rng.below(32) as usize).min(frame.len() - at);
+        frame[at..at + len].fill(0);
+        tally.observe(&pkt, &Bytes::from(frame), true);
+    }
+    for _ in 0..2_000 {
+        let mut junk = vec![0u8; rng.below(2048) as usize];
+        rng.fill_bytes(&mut junk);
+        // Garbage has no originating template; only the no-panic and
+        // canonical-reparse halves of the contract apply.
+        if let Ok(parsed) = Packet::parse(&Bytes::from(junk)) {
+            let reparse = Packet::parse(&Bytes::from(parsed.encode()))
+                .expect("accepted garbage must re-parse canonically");
+            assert_eq!(reparse, parsed);
+        }
+    }
+    assert!(tally.rejected_icrc > 0, "no zero-fill hit the ICRC stage");
+}
+
+/// The corpus is seed-stable: the same seeds produce the same tallies,
+/// so a CI failure is reproducible locally by construction.
+#[test]
+fn corpus_is_deterministic() {
+    let run = || {
+        let mut rng = SimRng::seed(0xD373_2206);
+        let mut tally = Tally::default();
+        for _ in 0..500 {
+            let pkt = rand_packet(&mut rng);
+            let mut frame = pkt.encode();
+            let i = rng.below(frame.len() as u64) as usize;
+            frame[i] ^= 1 << rng.below(8);
+            tally.observe(&pkt, &Bytes::from(frame), !unprotected(i));
+        }
+        (
+            tally.ok_identical,
+            tally.ok_unprotected,
+            tally.rejected_icrc,
+            tally.rejected_other,
+        )
+    };
+    assert_eq!(run(), run(), "same seed must reproduce the same tallies");
+}

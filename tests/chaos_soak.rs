@@ -15,9 +15,10 @@ use strom::kernels::layouts::{
 };
 use strom::kernels::shuffle::{encode_histogram, ShuffleKernel, ShuffleParams};
 use strom::kernels::traversal::{TraversalKernel, TraversalParams};
+use strom::nic::cluster_shuffle::{pair_qpn, run_shuffle, ShuffleSpec};
 use strom::nic::{
-    active_fault_types, chaos_model, CompletionStatus, LinkFaultModel, NicConfig, RpcOpCode,
-    StatusRegisters, Testbed, WorkRequest,
+    active_fault_types, chaos_model, ClusterTestbed, CompletionStatus, LinkFaultModel, NicConfig,
+    RpcOpCode, StatusRegisters, SwitchParams, Testbed, WorkRequest,
 };
 use strom::sim::time::MICROS;
 use strom::sim::{default_workers, parallel_map, SimRng};
@@ -85,7 +86,26 @@ fn run_chaos_ops(
 ) -> ChaosOutcome {
     let mut cfg = NicConfig::ten_gig();
     cfg.seed = seed;
-    let mut tb = Testbed::new(cfg);
+    run_chaos_ops_on(
+        Testbed::new(cfg).into_cluster(),
+        ops,
+        model,
+        seed,
+        trace_capacity,
+    )
+}
+
+/// [`run_chaos_ops`] on a caller-supplied cluster geometry — the N=2
+/// smoke test drives the same workload through
+/// [`ClusterTestbed::transparent_pair`] and the [`Testbed`] wrapper and
+/// compares the outcomes bit for bit.
+fn run_chaos_ops_on(
+    mut tb: ClusterTestbed,
+    ops: &[Op],
+    model: LinkFaultModel,
+    seed: u64,
+    trace_capacity: Option<usize>,
+) -> ChaosOutcome {
     if let Some(capacity) = trace_capacity {
         tb.enable_tracing(capacity);
     }
@@ -649,4 +669,152 @@ fn reordered_acks_and_responses_recover() {
     assert!(reordered > 0, "jitter never reordered a frame");
     assert!(!tb.qp_has_outstanding(CLIENT, QP));
     assert!(!tb.qp_errored(CLIENT, QP));
+}
+
+/// Four-node switched soak: 8 seeds, each pinning two *independent*
+/// composed fault models (≥ 2 active fault types apiece) to two distinct
+/// switch egress ports while the rest of the fabric stays clean. The
+/// all-to-all shuffle inside [`run_shuffle`] verifies every byte of
+/// every flow — including the flows that never touch a faulty port, so
+/// a fault leaking across ports would surface as a foreign-flow
+/// corruption, not just a retransmission.
+#[test]
+fn cluster_chaos_soak_survives_per_port_faults() {
+    let outcomes = parallel_map((0..8u64).collect(), default_workers(), |seed| {
+        let mut spec = ShuffleSpec::new(4, 120 + (seed as usize) * 17, 0xC1A0_0000 + seed);
+        let port_a = (seed as usize) % 4;
+        let port_b = (port_a + 1 + (seed as usize) % 3) % 4;
+        assert_ne!(port_a, port_b);
+        let model_a = chaos_model(seed ^ 0x0A);
+        let model_b = chaos_model(seed ^ 0x0B);
+        assert!(
+            active_fault_types(&model_a) >= 2,
+            "seed {seed}: {model_a:?}"
+        );
+        assert!(
+            active_fault_types(&model_b) >= 2,
+            "seed {seed}: {model_b:?}"
+        );
+        spec.port_faults = vec![(port_a, model_a), (port_b, model_b)];
+        run_shuffle(&spec)
+    });
+    let recovered: u64 = outcomes.iter().map(|o| o.retransmissions).sum();
+    assert!(
+        recovered > 0,
+        "per-port faults never forced a retransmission across 8 seeds"
+    );
+}
+
+/// A dead switch port (loss = 1.0 toward node 1) exhausts the retry
+/// budget for the flow that crosses it — and *only* that flow: traffic
+/// between healthy ports completes byte-for-byte while the dead flow
+/// errors out, and the simulation still quiesces.
+#[test]
+fn dead_port_retry_exhaustion_is_isolated_to_that_port() {
+    const N: usize = 4;
+    let mut cfg = NicConfig::ten_gig();
+    cfg.seed = 0x1507;
+    let mut tb = ClusterTestbed::switched(cfg, N, SwitchParams::default());
+    tb.set_port_fault_model(1, LinkFaultModel::bernoulli(1.0));
+    let (q01, q02, q23) = (pair_qpn(N, 0, 1), pair_qpn(N, 0, 2), pair_qpn(N, 2, 3));
+    tb.connect_qp_between(0, 1, q01);
+    tb.connect_qp_between(0, 2, q02);
+    tb.connect_qp_between(2, 3, q23);
+    let bufs: Vec<u64> = (0..N).map(|n| tb.pin(n, 1 << 20)).collect();
+    let mut rng = SimRng::seed(0x0150_70b5);
+    let mut data_02 = vec![0u8; 50_000];
+    rng.fill_bytes(&mut data_02);
+    let mut data_23 = vec![0u8; 50_000];
+    rng.fill_bytes(&mut data_23);
+    tb.mem(0).write(bufs[0], &data_02);
+    tb.mem(2).write(bufs[2], &data_23);
+
+    // All three flows contend for the switch concurrently.
+    let h01 = tb.post(
+        0,
+        q01,
+        WorkRequest::Write {
+            remote_vaddr: bufs[1],
+            local_vaddr: bufs[0] + (1 << 19),
+            len: 4096,
+        },
+    );
+    let h02 = tb.post(
+        0,
+        q02,
+        WorkRequest::Write {
+            remote_vaddr: bufs[2] + (1 << 19),
+            local_vaddr: bufs[0],
+            len: data_02.len() as u32,
+        },
+    );
+    let h23 = tb.post(
+        2,
+        q23,
+        WorkRequest::Write {
+            remote_vaddr: bufs[3],
+            local_vaddr: bufs[2],
+            len: data_23.len() as u32,
+        },
+    );
+    tb.run_until_complete(0, h01);
+    tb.run_until_complete(0, h02);
+    tb.run_until_complete(2, h23);
+    assert!(
+        tb.run_until_idle_bounded(EVENT_BUDGET),
+        "a dead port must not keep the simulation spinning"
+    );
+
+    // The dead-port flow exhausted its budget...
+    assert_eq!(
+        tb.completion_status(0, h01),
+        Some(CompletionStatus::RetryExceeded)
+    );
+    assert!(tb.qp_errored(0, q01));
+    // ...while both healthy flows delivered every byte.
+    assert_eq!(
+        tb.completion_status(0, h02),
+        Some(CompletionStatus::Success)
+    );
+    assert_eq!(
+        tb.completion_status(2, h23),
+        Some(CompletionStatus::Success)
+    );
+    assert!(!tb.qp_errored(0, q02));
+    assert!(!tb.qp_errored(2, q23));
+    assert_eq!(tb.mem(2).read(bufs[2] + (1 << 19), data_02.len()), data_02);
+    assert_eq!(tb.mem(3).read(bufs[3], data_23.len()), data_23);
+    // The faults were injected at the dead port, not dropped by queueing.
+    assert_eq!(
+        tb.switch_tail_drops(),
+        0,
+        "default queues never overflow here"
+    );
+}
+
+/// The N=2 cluster geometries — the raw transparent pair and the
+/// [`Testbed`] wrapper — reproduce the two-host chaos soak bit for bit:
+/// memory images, retransmission counts, status registers, metrics, and
+/// the telemetry trace fingerprint.
+#[test]
+fn n2_cluster_reproduces_two_host_chaos_fingerprints() {
+    for seed in [3u64, 13] {
+        let model = chaos_model(seed);
+        let ops = rand_ops(&mut SimRng::seed(seed ^ 0x0b5), 7);
+        let via_wrapper = run_chaos_ops(&ops, model, seed, Some(1 << 15));
+        let mut cfg = NicConfig::ten_gig();
+        cfg.seed = seed;
+        let direct = run_chaos_ops_on(
+            ClusterTestbed::transparent_pair(cfg),
+            &ops,
+            model,
+            seed,
+            Some(1 << 15),
+        );
+        assert_eq!(
+            via_wrapper, direct,
+            "seed {seed}: the N=2 transparent cluster diverged from the two-host path"
+        );
+        assert!(via_wrapper.trace.is_some());
+    }
 }
