@@ -17,9 +17,15 @@
 use std::time::Instant;
 
 use bytes::Bytes;
-use strom_bench::experiments::shuffle_scale::{spec as shuffle_spec, LOSS_RATE, NODE_COUNTS};
+use strom_bench::experiments::incast::{
+    self, SENDER_COUNTS as INCAST_SENDERS, TUNED_WINDOW as INCAST_WINDOW,
+};
+use strom_bench::experiments::shuffle_scale::{
+    cc_spec, spec as shuffle_spec, LOSS_RATE, NODE_COUNTS,
+};
 use strom_bench::micro::{bb, bench};
 use strom_bench::Scale;
+use strom_nic::cluster_incast::run_incast;
 use strom_nic::cluster_shuffle::run_shuffle;
 use strom_nic::{chaos_model, NicConfig, Testbed, WorkRequest};
 use strom_sim::{parallel_map, EventQueue, ReferenceEventQueue, SimRng};
@@ -348,6 +354,72 @@ fn main() {
     let shuffle_drops: u64 = shuffle.iter().map(|o| o.tail_drops).sum();
     let shuffle_retx: u64 = shuffle.iter().map(|o| o.retransmissions).sum();
 
+    println!(
+        "== shuffle congestion-control pair (N = 8, shallow fabric, {}% loss) ==",
+        LOSS_RATE * 100.0
+    );
+    let cc_pair = parallel_map(vec![false, true], strom_sim::default_workers(), |cc| {
+        run_shuffle(&cc_spec(8, scale, cc))
+    });
+    let (cc_off, cc_on) = (&cc_pair[0], &cc_pair[1]);
+    println!(
+        "{:<40} drops {}, retx {}",
+        "shuffle_cc_off", cc_off.tail_drops, cc_off.retransmissions
+    );
+    println!(
+        "{:<40} drops {}, retx {}",
+        "shuffle_cc_on", cc_on.tail_drops, cc_on.retransmissions
+    );
+    // The congestion-control acceptance bar: DCQCN must cut both the
+    // switch tail drops and the retransmission storm at least 5x.
+    assert!(
+        cc_off.tail_drops >= 5 * cc_on.tail_drops.max(1),
+        "DCQCN tail-drop improvement below 5x: {} vs {}",
+        cc_off.tail_drops,
+        cc_on.tail_drops
+    );
+    assert!(
+        cc_off.retransmissions >= 5 * cc_on.retransmissions.max(1),
+        "DCQCN retransmission improvement below 5x: {} vs {}",
+        cc_off.retransmissions,
+        cc_on.retransmissions
+    );
+
+    println!("== incast N:1 at the tuned operating point (DCQCN, window {INCAST_WINDOW}) ==");
+    let incast_runs = parallel_map(INCAST_SENDERS.to_vec(), strom_sim::default_workers(), |n| {
+        run_incast(&incast::spec(n, INCAST_WINDOW, scale, true))
+    });
+    let ps_us = |p: Option<u64>| p.map(|v| v as f64 / 1e6).unwrap_or(0.0);
+    for (&n, out) in INCAST_SENDERS.iter().zip(&incast_runs) {
+        println!(
+            "{:<40} p999 {:>9.1} us, drops {}, marks {}, qp_errors {}",
+            format!("incast_n{n}"),
+            ps_us(out.p999_ps),
+            out.tail_drops,
+            out.ecn_marked,
+            out.qp_errors,
+        );
+    }
+    let incast_drops: u64 = incast_runs.iter().map(|o| o.tail_drops).sum();
+    let incast_marked: u64 = incast_runs.iter().map(|o| o.ecn_marked).sum();
+    let incast_cnps: u64 = incast_runs.iter().map(|o| o.cnps).sum();
+    let incast_qp_errors: usize = incast_runs.iter().map(|o| o.qp_errors).sum();
+    let inc8 = &incast_runs[1];
+    // Incast acceptance: the 8:1 fan-in completes with zero terminal QP
+    // errors and a p999 bounded below the retransmission timeout.
+    assert_eq!(incast_qp_errors, 0, "incast must not error out QPs");
+    assert!(
+        inc8.p999_ps.unwrap_or(u64::MAX) < 1_000 * strom_sim::time::MICROS,
+        "incast N=8 p999 unbounded: {:?} ps",
+        inc8.p999_ps
+    );
+    let fair_on = run_incast(&incast::fairness_spec(4, scale, true));
+    let fair_off = run_incast(&incast::fairness_spec(4, scale, false));
+    println!(
+        "{:<40} Jain {:.4} (DCQCN) vs {:.4} (no CC)",
+        "incast_fairness", fair_on.jain, fair_off.jain
+    );
+
     let icrc_speedup = icrc_ref.ns_per_iter / icrc_s8.ns_per_iter;
     let crc64_speedup = crc64_ref.ns_per_iter / crc64_s8.ns_per_iter;
     let soak_speedup = soak_seq_ms / soak_par_ms;
@@ -402,6 +474,23 @@ fn main() {
   "shuffle_n8_p99_us": {sp2:.3},
   "shuffle_tail_drops": {shuffle_drops},
   "shuffle_retransmissions": {shuffle_retx},
+  "shuffle_cc_off_tail_drops": {cc_off_drops},
+  "shuffle_cc_off_retransmissions": {cc_off_retx},
+  "shuffle_cc_on_tail_drops": {cc_on_drops},
+  "shuffle_cc_on_retransmissions": {cc_on_retx},
+  "incast_window": {INCAST_WINDOW},
+  "incast_n4_p999_us": {inc4_p999:.3},
+  "incast_n8_p50_us": {inc8_p50:.3},
+  "incast_n8_p99_us": {inc8_p99:.3},
+  "incast_n8_p999_us": {inc8_p999:.3},
+  "incast_n16_p999_us": {inc16_p999:.3},
+  "incast_n8_goodput_gbps": {inc8_goodput:.4},
+  "incast_tail_drops": {incast_drops},
+  "incast_ecn_marked": {incast_marked},
+  "incast_cnps": {incast_cnps},
+  "incast_qp_errors": {incast_qp_errors},
+  "jain_index": {jain_on:.4},
+  "jain_index_no_cc": {jain_off:.4},
   "write_p50_us": {:.3},
   "write_p99_us": {:.3},
   "write_p999_us": {:.3},
@@ -425,6 +514,18 @@ fn main() {
         q_us(&read_lat, 0.99),
         q_us(&read_lat, 0.999),
         mode = if quick { "quick" } else { "full" },
+        cc_off_drops = cc_off.tail_drops,
+        cc_off_retx = cc_off.retransmissions,
+        cc_on_drops = cc_on.tail_drops,
+        cc_on_retx = cc_on.retransmissions,
+        inc4_p999 = ps_us(incast_runs[0].p999_ps),
+        inc8_p50 = ps_us(inc8.p50_ps),
+        inc8_p99 = ps_us(inc8.p99_ps),
+        inc8_p999 = ps_us(inc8.p999_ps),
+        inc16_p999 = ps_us(incast_runs[2].p999_ps),
+        inc8_goodput = inc8.goodput_gbps,
+        jain_on = fair_on.jain,
+        jain_off = fair_off.jain,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
     std::fs::write(path, &json).expect("write BENCH_wire.json");

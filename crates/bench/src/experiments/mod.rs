@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod incast;
 pub mod sec7;
 pub mod shuffle_scale;
 pub mod tables;
@@ -178,6 +179,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "Cluster shuffle scaling: aggregate GB/s and p99 at N = 2/4/8",
         ),
         (
+            "incast",
+            "Incast N:1 under DCQCN: tail latency vs load, survival, fairness",
+        ),
+        (
             "abl-bypass",
             "Ablation: DMA Descriptor Bypass on/off at 100G",
         ),
@@ -219,6 +224,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> String {
         "sec61" => tables::sec61(),
         "sec7" => sec7::run(scale).render(),
         "shuffle-scale" => shuffle_scale::run(scale),
+        "incast" => incast::run(scale),
         "abl-bypass" => ablations::bypass(scale).render(),
         "abl-width" => ablations::width(scale).render(),
         "abl-timeout" => ablations::timeout(scale).render(),
@@ -241,6 +247,12 @@ const TELEMETRY_TRACE_CAPACITY: usize = 1 << 14;
 /// analytical tables return `None` and the `figures` binary falls back
 /// to [`run_experiment`].
 pub fn run_experiment_telemetry(name: &str, scale: Scale) -> Option<(String, TelemetryReport)> {
+    if name == "incast" {
+        // The cluster experiment instruments its tuned run itself; its
+        // report carries the switch's per-port queue-depth high
+        // watermarks and ECN mark counters.
+        return Some(incast::run_with_telemetry(scale));
+    }
     let (mut tb, title) = match name {
         "fig5a" => (testbed_10g(), "Fig 5a (10G)"),
         "fig12a" => (testbed_100g(), "Fig 12a (100G)"),

@@ -58,6 +58,10 @@ pub struct ShuffleSpec {
     /// need this: queueing delay beyond the timeout turns every queued
     /// frame into a spurious retransmission.
     pub retransmit_timeout: Option<TimeDelta>,
+    /// Enables DCQCN congestion control on every NIC. Pair with an
+    /// ECN-marking switch ([`SwitchParams::ecn`]) — without marking the
+    /// flag only stamps packets ECT(0) and no rate control happens.
+    pub cc: bool,
 }
 
 impl ShuffleSpec {
@@ -73,6 +77,7 @@ impl ShuffleSpec {
             port_faults: Vec::new(),
             trace_capacity: None,
             retransmit_timeout: None,
+            cc: false,
         }
     }
 }
@@ -173,6 +178,7 @@ pub fn run_shuffle(spec: &ShuffleSpec) -> ShuffleOutcome {
     let mut cfg = NicConfig::ten_gig();
     cfg.seed = spec.seed;
     cfg.fault = spec.fault;
+    cfg.cc = spec.cc;
     if let Some(timeout) = spec.retransmit_timeout {
         cfg.retransmit_timeout = timeout;
     }

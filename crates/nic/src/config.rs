@@ -49,6 +49,13 @@ pub struct NicConfig {
     /// Cap on the exponential-backoff shift: the n-th consecutive timeout
     /// waits `retransmit_timeout << min(n, cap)`.
     pub backoff_shift_cap: u32,
+    /// End-to-end congestion control (DCQCN). When on, data packets are
+    /// sent ECN-capable (ECT(0)), the responder echoes CE marks back as
+    /// CNP packets, and each requester QP paces its transmissions to a
+    /// DCQCN-controlled rate. Off by default: the wire byte streams and
+    /// timing are then bit-identical to the pre-CC stack (pinned by the
+    /// pcap golden and chaos fingerprints).
+    pub cc: bool,
     /// RNG seed for the testbed.
     pub seed: u64,
 }
@@ -75,6 +82,7 @@ impl NicConfig {
             fault: LinkFaultModel::none(),
             max_retries: 7,
             backoff_shift_cap: 6,
+            cc: false,
             seed: 0x5150,
         }
     }
@@ -100,6 +108,7 @@ impl NicConfig {
             fault: LinkFaultModel::none(),
             max_retries: 7,
             backoff_shift_cap: 6,
+            cc: false,
             seed: 0x5150,
         }
     }

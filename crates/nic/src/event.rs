@@ -68,6 +68,15 @@ pub enum Event {
         /// The node to scan.
         node: NodeId,
     },
+    /// The paced transmit slot for one QP's queued request packets came
+    /// up (DCQCN rate limiting): release the head of the queue. The
+    /// per-QP deadline guard in the handler makes stale ticks no-ops.
+    PacerTick {
+        /// The transmitting node.
+        node: NodeId,
+        /// The rate-limited QP.
+        qpn: Qpn,
+    },
     /// The cluster switch has at least one ingress frame eligible for
     /// arbitration at this time; the testbed runs a grant pass. Extra
     /// ticks at the same instant are harmless no-ops (the first drains

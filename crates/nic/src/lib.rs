@@ -20,6 +20,7 @@
 //! PCIe, and line-rate constants documented in `NicConfig`.
 
 pub mod chaos;
+pub mod cluster_incast;
 pub mod cluster_shuffle;
 pub mod config;
 pub mod controller;

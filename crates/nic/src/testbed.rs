@@ -31,21 +31,22 @@
 //! then `run_until_watch`/`run_until_complete` to advance simulated time
 //! until the interesting state change.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 
 use strom_kernels::framework::{Kernel, KernelAction};
 use strom_mem::{HostMemory, Tlb};
 use strom_proto::{
-    CompletionStatus, PacketDescriptor, PayloadSource, Requester, Responder, ResponderAction,
-    RetransmissionTimer, StateTable, WorkRequest,
+    CompletionStatus, Dcqcn, DcqcnConfig, PacketDescriptor, PayloadSource, Requester, Responder,
+    ResponderAction, RetransmissionTimer, StateTable, WorkRequest,
 };
-use strom_sim::switch::{Delivery, Switch, SwitchConfig, SwitchPortCounters, TailDrop};
+use strom_sim::switch::{Delivery, EcnConfig, Switch, SwitchConfig, SwitchPortCounters, TailDrop};
 use strom_sim::time::{Time, TimeDelta};
-use strom_sim::{Bandwidth, EventQueue, LinkSerializer, SimRng};
+use strom_sim::{Bandwidth, EventQueue, LinkSerializer, Pacer, SimRng};
 use strom_telemetry::{
-    Counter, DropReason, HistogramHandle, MetricsRegistry, TraceEvent, TraceSink, WireCounters,
+    Counter, DropReason, Gauge, HistogramHandle, MetricsRegistry, TraceEvent, TraceSink,
+    WireCounters,
 };
 use strom_wire::bth::{Aeth, AethSyndrome, Psn, Qpn};
 use strom_wire::opcode::{Opcode, RpcOpCode};
@@ -157,6 +158,22 @@ struct Node {
     kernel_occ: Vec<(RpcOpCode, LinkSerializer)>,
     /// CPU fallback handlers by RPC op-code (§5.1).
     fallbacks: Vec<(RpcOpCode, Box<dyn CpuFallback>)>,
+    /// DCQCN reaction point: per-QP transmit rates, driven by received
+    /// CNPs. Idle (all QPs at line rate) unless `cfg.cc` is on and
+    /// congestion is signalled.
+    dcqcn: Dcqcn,
+    /// Per-QP transmit pacers enforcing the DCQCN rate (only used when
+    /// `cfg.cc` is on; a CC-disabled testbed takes the exact pre-CC
+    /// timing path).
+    pacers: Vec<Pacer>,
+    /// Per-QP queues of request packets awaiting their paced transmit
+    /// slot. Pacing must bind at *release* time, not post time — a rate
+    /// cut mid-message has to slow the packets still queued, which
+    /// pre-computed admission times could never do.
+    txq: Vec<VecDeque<PacedTx>>,
+    /// The live [`Event::PacerTick`] deadline per QP (dedup guard, same
+    /// discipline as `check_at`).
+    tick_at: Vec<Option<Time>>,
     /// Wire datapath statistics — the same struct
     /// [`ClusterTestbed::status`] hands back, so nothing is
     /// hand-mirrored into the register view.
@@ -176,16 +193,20 @@ pub struct SwitchParams {
     /// Egress queue bound per port, in frames; the switch tail-drops
     /// beyond it.
     pub egress_capacity: usize,
+    /// ECN marking policy for the egress queues; `None` disables marking
+    /// (the pre-CC switch, bit-identical behaviour).
+    pub ecn: Option<EcnConfig>,
 }
 
 impl Default for SwitchParams {
     /// A shallow-buffered top-of-rack switch: 500 ns switching latency,
-    /// line-rate ports, 64-frame egress queues.
+    /// line-rate ports, 64-frame egress queues, no ECN marking.
     fn default() -> Self {
         SwitchParams {
             port_rate: None,
             latency: 500 * strom_sim::time::NANOS,
             egress_capacity: 64,
+            ecn: None,
         }
     }
 }
@@ -202,14 +223,29 @@ struct SwitchFrame {
     dup: bool,
 }
 
+/// One request packet parked in a QP's paced transmit queue.
+struct PacedTx {
+    peer: NodeId,
+    pkt: Packet,
+    payload_ready: Time,
+}
+
+/// Per-egress-port metrics mirrors into the shared registry.
+struct PortMetrics {
+    frames_out: Counter,
+    tail_drops: Counter,
+    ecn_marked: Counter,
+    queue_peak: Gauge,
+}
+
 /// The cluster switch plus its testbed-side plumbing.
 struct SwitchState {
     model: Switch<SwitchFrame>,
     /// Reusable arbitration output buffers (zero steady-state allocation).
     deliveries: Vec<Delivery<SwitchFrame>>,
     drops: Vec<TailDrop<SwitchFrame>>,
-    /// Per-egress-port metrics mirrors: (frames forwarded, tail drops).
-    port_metrics: Vec<(Counter, Counter)>,
+    /// Per-egress-port metrics mirrors.
+    port_metrics: Vec<PortMetrics>,
 }
 
 /// The simulated world: N nodes and the network between them —
@@ -324,6 +360,13 @@ impl ClusterTestbed {
             arp: strom_wire::arp::ArpCache::new(),
             kernel_occ: Vec::new(),
             fallbacks: Vec::new(),
+            dcqcn: Dcqcn::new(
+                DcqcnConfig::for_line_rate(cfg.link_bandwidth.as_gbit_per_sec() * 1e9),
+                cfg.num_qps,
+            ),
+            pacers: vec![Pacer::new(); cfg.num_qps],
+            txq: (0..cfg.num_qps).map(|_| VecDeque::new()).collect(),
+            tick_at: vec![None; cfg.num_qps],
             counters: WireCounters::default(),
         };
         let metrics = MetricsRegistry::default();
@@ -338,15 +381,16 @@ impl ClusterTestbed {
                 port_rate: params.port_rate.unwrap_or(cfg.link_bandwidth),
                 latency: params.latency,
                 egress_capacity: params.egress_capacity,
+                ecn: params.ecn,
             }),
             deliveries: Vec::new(),
             drops: Vec::new(),
             port_metrics: (0..n)
-                .map(|p| {
-                    (
-                        metrics.counter(&format!("switch.port{p}.frames_out")),
-                        metrics.counter(&format!("switch.port{p}.tail_drops")),
-                    )
+                .map(|p| PortMetrics {
+                    frames_out: metrics.counter(&format!("switch.port{p}.frames_out")),
+                    tail_drops: metrics.counter(&format!("switch.port{p}.tail_drops")),
+                    ecn_marked: metrics.counter(&format!("switch.port{p}.ecn_marked")),
+                    queue_peak: metrics.gauge(&format!("switch.port{p}.queue_peak")),
                 })
                 .collect(),
         });
@@ -940,6 +984,7 @@ impl ClusterTestbed {
                 len,
             } => self.on_kernel_read_done(node, op, tag, vaddr, len, now),
             Event::RetransmitCheck { node } => self.on_retransmit_check(node, now),
+            Event::PacerTick { node, qpn } => self.on_pacer_tick(node, qpn, now),
             Event::SwitchTick => self.on_switch_tick(now),
             Event::ArpArrive { node, frame } => self.on_arp(node, &frame, now),
         }
@@ -1050,6 +1095,14 @@ impl ClusterTestbed {
                     self.refresh_timer(node, qpn, now);
                 } // else: duplicate/out-of-order response, dropped.
             }
+            Opcode::Cnp => {
+                // Congestion echo: apply the DCQCN rate cut to the QP the
+                // marked data packet came from. CNPs are pure signals —
+                // no PSN, no ACK, never retransmitted.
+                let n = &mut self.nodes[node];
+                n.counters.cnps_rx += 1;
+                n.dcqcn.on_cnp(pkt.bth.dest_qp as usize, now);
+            }
             _ => {
                 let n = &mut self.nodes[node];
                 let actions = n.responder.on_packet(&mut n.state, &pkt);
@@ -1145,12 +1198,17 @@ impl ClusterTestbed {
             // retransmitting forever. Everything in flight completes with
             // an error status so the host observes the failure.
             if self.nodes[node].timer.attempts(qpn) > self.cfg.max_retries {
+                self.nodes[node].txq[qpn as usize].clear();
                 let completions = self.nodes[node].requester.fail_qp(qpn);
                 for c in completions {
                     self.record_completion(node, &c, now);
                 }
                 continue;
             }
+            // Go-back-N: the timeout retransmits every outstanding
+            // packet, so any original still parked in the pacer queue is
+            // superseded — drop it or the window would go out twice.
+            self.nodes[node].txq[qpn as usize].clear();
             let descs = self.nodes[node].requester.on_timeout(qpn);
             for desc in descs {
                 self.send_descriptor(node, &desc, now);
@@ -1251,6 +1309,10 @@ impl ClusterTestbed {
                     if let Some(actions) = self.nodes[node].fabric.stream(rpc_op, qpn, data, last) {
                         self.exec_kernel_actions(node, rpc_op, actions, at);
                     }
+                }
+                ResponderAction::SendCnp { qpn } => {
+                    self.nodes[node].counters.cnps_tx += 1;
+                    self.send_cnp(node, qpn, now);
                 }
                 ResponderAction::DroppedDuplicate | ResponderAction::DroppedInvalid => {}
             }
@@ -1401,6 +1463,24 @@ impl ClusterTestbed {
         self.send_packet(node, peer, pkt, now, false);
     }
 
+    /// Echoes a CE mark back to the sender as a bare CNP: no payload, no
+    /// AETH, PSN 0 (CNPs sit outside the PSN space and are never acked or
+    /// retransmitted — losing one just defers the cut to the next mark).
+    fn send_cnp(&mut self, node: NodeId, qpn: Qpn, now: Time) {
+        let peer = self.peer_of(node, qpn);
+        let pkt = Packet::new(
+            node as u32,
+            peer as u32,
+            Opcode::Cnp,
+            qpn,
+            0,
+            None,
+            None,
+            Bytes::new(),
+        );
+        self.send_packet(node, peer, pkt, now, false);
+    }
+
     fn send_read_response(
         &mut self,
         node: NodeId,
@@ -1456,12 +1536,87 @@ impl ClusterTestbed {
         payload_ready: Time,
         arm_timer: bool,
     ) {
+        // DCQCN intercepts the requester's data path (the packets that
+        // arm the retransmission timer): packets park in a per-QP queue
+        // and a PacerTick releases one per paced slot, so a rate cut
+        // mid-message slows everything still queued. Control packets
+        // (ACKs, NAKs, CNPs, read responses) bypass the pacer — DCQCN
+        // is a sender-side protocol.
+        if self.cfg.cc && arm_timer {
+            let qpn = pkt.bth.dest_qp as usize;
+            self.nodes[node].txq[qpn].push_back(PacedTx {
+                peer,
+                pkt,
+                payload_ready,
+            });
+            self.schedule_pacer_tick(node, qpn);
+            return;
+        }
+        self.transmit_packet(node, peer, pkt, payload_ready, arm_timer);
+    }
+
+    /// Schedules the live PacerTick for `qpn` at its next paced slot, if
+    /// the queue is non-empty and no tick is already pending.
+    fn schedule_pacer_tick(&mut self, node: NodeId, qpn: usize) {
+        let now = self.queue.now();
+        let n = &mut self.nodes[node];
+        if n.tick_at[qpn].is_some() || n.txq[qpn].is_empty() {
+            return;
+        }
+        let at = now.max(n.pacers[qpn].next_ready());
+        n.tick_at[qpn] = Some(at);
+        self.queue.schedule_at(
+            at,
+            Event::PacerTick {
+                node,
+                qpn: qpn as Qpn,
+            },
+        );
+    }
+
+    /// Releases the head of one QP's paced transmit queue at the DCQCN
+    /// rate *read at release time* — the whole point of queueing.
+    fn on_pacer_tick(&mut self, node: NodeId, qpn: Qpn, now: Time) {
+        let q = qpn as usize;
+        // Same staleness discipline as `on_retransmit_check`: only the
+        // most recently scheduled tick may act (a timeout flush may have
+        // rescheduled underneath an in-flight tick).
+        if self.nodes[node].tick_at[q] != Some(now) {
+            return;
+        }
+        self.nodes[node].tick_at[q] = None;
+        let Some(tx) = self.nodes[node].txq[q].pop_front() else {
+            return;
+        };
+        let bytes = tx.pkt.wire_bytes() as u64;
+        let n = &mut self.nodes[node];
+        let bits = n.dcqcn.rate(q, now);
+        n.pacers[q].pace(now, bytes, Bandwidth::gbit_per_sec(bits / 1e9));
+        self.transmit_packet(node, tx.peer, tx.pkt, tx.payload_ready, true);
+        self.schedule_pacer_tick(node, q);
+    }
+
+    fn transmit_packet(
+        &mut self,
+        node: NodeId,
+        peer: NodeId,
+        mut pkt: Packet,
+        payload_ready: Time,
+        arm_timer: bool,
+    ) {
         let now = self.queue.now();
         let tx_ready = (now + self.cfg.tx_pipeline_time()).max(payload_ready);
         let wire_bytes = pkt.wire_bytes() as u64;
         let ip_len = pkt.ip_len();
-        let (_, wire_end) = self.links[node].admit(tx_ready, wire_bytes);
         let qpn = pkt.bth.dest_qp;
+        // Data packets go out ECN-capable so switches can mark them
+        // instead of dropping. Control traffic (ACKs, CNPs) stays
+        // Not-ECT: cutting rates on ACK marks would punish the wrong
+        // direction.
+        if self.cfg.cc && pkt.opcode().has_payload() {
+            pkt.ecn = strom_wire::ECN_ECT0;
+        }
+        let (_, wire_end) = self.links[node].admit(tx_ready, wire_bytes);
         if arm_timer {
             self.nodes[node].timer.arm(qpn, wire_end);
             self.schedule_check(node);
@@ -1605,30 +1760,46 @@ impl ClusterTestbed {
                 reason: DropReason::TailDrop,
             });
             if let Some(sw) = self.switch.as_ref() {
-                sw.port_metrics[d.dst].1.inc();
+                sw.port_metrics[d.dst].tail_drops.inc();
             }
             self.pool.put(d.payload.frame);
         }
         for d in deliveries.drain(..) {
+            let mut frame = d.payload.frame;
+            if d.marked {
+                // The switch decided to CE-mark this frame: rewrite the
+                // ECN field (and IPv4 checksum) in the egress buffer. At
+                // this point the switch holds the only reference, so
+                // reclaim is a move; the ICRC stays valid because it
+                // covers BTH+payload only.
+                let mut buf = frame.try_reclaim().unwrap_or_else(|b| b.to_vec());
+                strom_wire::mark_ce(&mut buf[strom_wire::ethernet::ETHERNET_HEADER_LEN..]);
+                frame = Bytes::from(buf);
+            }
             if let Some(sw) = self.switch.as_ref() {
-                sw.port_metrics[d.dst].0.inc();
+                let pm = &sw.port_metrics[d.dst];
+                pm.frames_out.inc();
+                if d.marked {
+                    pm.ecn_marked.inc();
+                }
             }
             let arrival = (d.egress_end
                 + self.cfg.propagation
                 + self.cfg.store_and_forward_time(d.payload.ip_len)
                 + self.cfg.rx_pipeline_time())
             .max(self.last_arrival[d.dst] + self.cfg.clock.period_ps());
-            self.deliver_frame(
-                d.dst,
-                d.payload.frame,
-                arrival,
-                d.payload.jitter,
-                d.payload.dup,
-            );
+            self.deliver_frame(d.dst, frame, arrival, d.payload.jitter, d.payload.dup);
         }
         if let Some(sw) = self.switch.as_mut() {
             sw.deliveries = deliveries;
             sw.drops = drops;
+            // Mirror the per-port queue high-watermarks into gauges so
+            // they flow into telemetry reports alongside the counters.
+            for p in 0..sw.port_metrics.len() {
+                sw.port_metrics[p]
+                    .queue_peak
+                    .set(sw.model.counters(p).queue_peak);
+            }
         }
     }
 

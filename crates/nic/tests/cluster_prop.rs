@@ -23,7 +23,7 @@
 use strom_nic::cluster_shuffle::{expected_partitions, run_shuffle, ShuffleSpec};
 use strom_nic::{chaos_model, SwitchParams};
 use strom_sim::time::NANOS;
-use strom_sim::{default_workers, parallel_map, Bandwidth, SimRng};
+use strom_sim::{default_workers, parallel_map, Bandwidth, EcnConfig, SimRng};
 
 /// Draws one arbitrary cluster spec from a case seed. Every dimension —
 /// geometry, load, switch shape, fault mix — derives from the seed, so
@@ -36,6 +36,12 @@ fn arbitrary_spec(case_seed: u64) -> ShuffleSpec {
     let values_per_node = rng.range(48, 400) as usize;
     let mut spec = ShuffleSpec::new(nodes, values_per_node, case_seed);
     spec.local_partitions = 1 << rng.range(2, 6); // 4..=32 partitions.
+                                                  // Half the corpus runs DCQCN congestion control against an
+                                                  // ECN-marking switch, so the cumulative-ack watermark and the
+                                                  // stale-retransmit guard are exercised *while* CNPs are reshaping
+                                                  // per-QP transmit pacing mid-flight (and, under the fault mixes
+                                                  // below, interleaved with reordering and duplication).
+    spec.cc = rng.chance(0.5);
     spec.switch = SwitchParams {
         // Half the corpus bottlenecks the egress ports below link rate.
         port_rate: if rng.chance(0.5) {
@@ -45,6 +51,16 @@ fn arbitrary_spec(case_seed: u64) -> ShuffleSpec {
         },
         latency: rng.range(0, 1_000) * NANOS,
         egress_capacity: [32, 64, 256][rng.below(3) as usize],
+        ecn: spec.cc.then(|| {
+            let min = rng.range(4, 24);
+            let max = min + rng.range(0, 32);
+            EcnConfig {
+                min_threshold: min as usize,
+                max_threshold: max as usize,
+                max_mark_prob: 0.25 + 0.75 * rng.unit(),
+                seed: case_seed ^ 0xECF,
+            }
+        }),
     };
     if rng.chance(0.6) {
         // The chaos generator guarantees at least two active fault types.

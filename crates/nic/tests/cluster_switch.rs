@@ -16,8 +16,8 @@
 use bytes::Bytes;
 
 use strom_nic::{ClusterTestbed, NicConfig, SwitchParams, Testbed, WorkRequest};
-use strom_sim::time::NANOS;
-use strom_sim::{Bandwidth, SimRng};
+use strom_sim::time::{MICROS, NANOS};
+use strom_sim::{Bandwidth, EcnConfig, SimRng};
 use strom_telemetry::{DropReason, TraceEvent};
 use strom_wire::{packet::Packet, pcap};
 
@@ -89,6 +89,7 @@ fn degenerate_switch_matches_point_to_point_frame_for_frame() {
         port_rate: Some(Bandwidth::gbit_per_sec(1e6)),
         latency: 0,
         egress_capacity: usize::MAX,
+        ecn: None,
     };
     let (flat_pcap, flat_mem) = short_exchange(ClusterTestbed::transparent_pair(cfg));
     let (sw_pcap, sw_mem) = short_exchange(ClusterTestbed::switched(cfg, 2, degenerate));
@@ -118,6 +119,7 @@ fn congested_write(egress_capacity: usize) -> (ClusterTestbed, u64) {
             port_rate: Some(Bandwidth::gbit_per_sec(2.5)),
             latency: 500 * NANOS,
             egress_capacity,
+            ecn: None,
         },
     );
     tb.enable_tracing(1 << 14);
@@ -219,6 +221,106 @@ fn deep_egress_queue_never_drops() {
     let (tb, drops) = congested_write(4096);
     let _ = &tb;
     assert_eq!(drops, 0, "an effectively unbounded queue must not drop");
+}
+
+/// The same congested write as [`congested_write`], but with an
+/// ECN-marking switch and DCQCN enabled: marks flow, CNPs echo back,
+/// the sender's pacing drains the queue, and a buffer that tail-dropped
+/// without CC no longer drops at all.
+#[test]
+fn ecn_plus_dcqcn_replaces_tail_drops_with_marks() {
+    let run = |cc: bool, ecn: Option<EcnConfig>| {
+        let mut cfg = NicConfig::ten_gig();
+        cfg.cc = cc;
+        // Pacing stretches the transfer past the default 100 µs timeout;
+        // keep retransmissions out of the picture so the comparison
+        // isolates the congestion machinery.
+        cfg.retransmit_timeout = 1_000 * MICROS;
+        let mut tb = ClusterTestbed::switched(
+            cfg,
+            2,
+            SwitchParams {
+                port_rate: Some(Bandwidth::gbit_per_sec(2.5)),
+                latency: 500 * NANOS,
+                egress_capacity: 96,
+                ecn,
+            },
+        );
+        tb.connect_qp(1);
+        let src = tb.pin(0, 1 << 20);
+        let dst = tb.pin(1, 1 << 20);
+        let mut data = vec![0u8; 256 << 10];
+        SimRng::seed(0xCAFE).fill_bytes(&mut data);
+        tb.mem(0).write(src, &data);
+        let h = tb.post(
+            0,
+            1,
+            WorkRequest::Write {
+                remote_vaddr: dst,
+                local_vaddr: src,
+                len: data.len() as u32,
+            },
+        );
+        tb.run_until_complete(0, h);
+        tb.run_until_idle();
+        assert_eq!(
+            tb.completion_status(0, h),
+            Some(strom_nic::CompletionStatus::Success)
+        );
+        assert_eq!(tb.mem(1).read(dst, data.len()), data);
+        tb
+    };
+
+    // Marking early (an eighth of the buffer) buys headroom for the
+    // feedback delay: a CE mark decided at enqueue still rides the
+    // egress queue before the responder can echo it, so the queue keeps
+    // growing at full rate for one queue-drain time after the first
+    // mark. DCQCN deployments mark low for exactly this reason.
+    let without = run(false, None);
+    let with = run(true, Some(EcnConfig::step(8)));
+
+    assert!(
+        without.switch_tail_drops() > 0,
+        "the 4x rate mismatch must overflow a 96-deep queue without CC"
+    );
+    let marked = with.switch_counters(1).expect("switched").ecn_marked;
+    assert!(marked > 0, "the queue must cross the marking threshold");
+    assert_eq!(
+        with.status(1).wire.cnps_tx,
+        with.status(0).wire.cnps_rx,
+        "every CNP the responder sends arrives at the requester"
+    );
+    assert!(with.status(0).wire.cnps_rx > 0, "marks must echo as CNPs");
+    assert_eq!(
+        with.switch_tail_drops(),
+        0,
+        "DCQCN pacing must hold the queue below the 96-frame bound"
+    );
+    assert_eq!(with.retransmissions(0), 0, "nothing lost, nothing resent");
+}
+
+/// With CC off (the default), runs are bit-identical to the pre-CC
+/// stack even though the ECN/CNP/DCQCN code is compiled in: packets go
+/// out Not-ECT, a marking-enabled switch refuses to mark them, and the
+/// capture matches the run with no marker configured byte for byte.
+#[test]
+fn cc_disabled_is_bit_identical_even_under_an_ecn_switch() {
+    assert!(!NicConfig::ten_gig().cc, "CC must be opt-in");
+    let params = |ecn| SwitchParams {
+        port_rate: Some(Bandwidth::gbit_per_sec(2.5)),
+        latency: 500 * NANOS,
+        egress_capacity: 64,
+        ecn,
+    };
+    let cfg = NicConfig::ten_gig();
+    let (plain_pcap, plain_mem) = short_exchange(ClusterTestbed::switched(cfg, 2, params(None)));
+    let (ecn_pcap, ecn_mem) = short_exchange(ClusterTestbed::switched(
+        cfg,
+        2,
+        params(Some(EcnConfig::step(4))),
+    ));
+    assert_eq!(plain_pcap, ecn_pcap, "Not-ECT traffic must never be marked");
+    assert_eq!(plain_mem, ecn_mem);
 }
 
 /// Every frame captured on a switched run still parses and re-encodes

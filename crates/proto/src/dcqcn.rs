@@ -1,0 +1,343 @@
+//! DCQCN-style per-QP transmit rate control.
+//!
+//! The reaction-point half of the congestion-control loop (Zhu et al.,
+//! SIGCOMM'15, simplified): switches mark CE on frames crossing an egress
+//! threshold, the responder echoes each mark back to the sender as a CNP
+//! packet, and this module turns the CNP stream into a transmit rate for
+//! the requester's pacer.
+//!
+//! Per QP the state is `(rate, target, alpha)`:
+//!
+//! * **On CNP** (at most once per `cnp_holdoff` ticks): the current rate
+//!   becomes the recovery target, the rate is cut multiplicatively by
+//!   `1 - alpha/2`, and `alpha` rises toward 1
+//!   (`alpha <- (1-g)*alpha + g`), so a congested QP cuts harder on the
+//!   next CNP.
+//! * **Alpha decay**: every `alpha_period` ticks without a CNP,
+//!   `alpha <- (1-g)*alpha` — the congestion estimate cools off.
+//! * **Rate recovery**: every `increase_period` ticks since the last cut
+//!   the QP runs one recovery round: *fast recovery* for the first
+//!   `fast_recovery_rounds` rounds (`rate <- (rate+target)/2`), then
+//!   *additive increase* (`target += ai_rate`), escalating to
+//!   *hyper increase* (`target += hyper_ai_rate`) after prolonged
+//!   CNP silence. Once the rate is back at line rate the QP leaves the
+//!   congested state entirely.
+//!
+//! Sans-IO like the rest of this crate: times are opaque ticks (the
+//! testbed feeds picoseconds), rates are plain bits/s, and all state
+//! advances lazily on access — no timer events, no RNG, deterministic by
+//! construction.
+
+/// Tuning knobs for [`Dcqcn`]. Times are opaque ticks; rates are bits/s.
+#[derive(Debug, Clone, Copy)]
+pub struct DcqcnConfig {
+    /// Line rate (and rate ceiling) in bits/s.
+    pub line_rate: f64,
+    /// Floor the rate never drops below (keeps the QP alive so recovery
+    /// and retransmission still make progress), bits/s.
+    pub min_rate: f64,
+    /// EWMA gain `g` for alpha updates.
+    pub gain: f64,
+    /// Ticks between alpha-decay steps while no CNP arrives.
+    pub alpha_period: u64,
+    /// Ticks between rate-recovery rounds after a cut.
+    pub increase_period: u64,
+    /// Recovery rounds spent in fast recovery before additive increase.
+    pub fast_recovery_rounds: u32,
+    /// Additive-increase step, bits/s per round.
+    pub ai_rate: f64,
+    /// Hyper-increase step, bits/s per round (after prolonged silence).
+    pub hyper_ai_rate: f64,
+    /// Minimum ticks between successive rate cuts (CNPs inside the
+    /// holdoff window are absorbed by the previous cut).
+    pub cnp_holdoff: u64,
+}
+
+impl DcqcnConfig {
+    /// A reasonable DCQCN tuning for the given line rate: the SIGCOMM'15
+    /// defaults (g = 1/256, 55 us timers, 5 fast-recovery rounds) with
+    /// the step sizes scaled to the line rate, assuming picosecond ticks.
+    pub fn for_line_rate(bits_per_sec: f64) -> Self {
+        const MICROS: u64 = 1_000_000; // Picoseconds per microsecond.
+        DcqcnConfig {
+            line_rate: bits_per_sec,
+            min_rate: bits_per_sec / 256.0,
+            gain: 1.0 / 256.0,
+            alpha_period: 55 * MICROS,
+            increase_period: 55 * MICROS,
+            fast_recovery_rounds: 5,
+            ai_rate: bits_per_sec / 200.0,
+            hyper_ai_rate: bits_per_sec / 20.0,
+            cnp_holdoff: 50 * MICROS,
+        }
+    }
+}
+
+/// Per-QP reaction-point state.
+#[derive(Debug, Clone, Copy)]
+struct QpRate {
+    /// Current transmit rate, bits/s.
+    rate: f64,
+    /// Recovery target (the rate in force when the last CNP arrived).
+    target: f64,
+    /// Congestion estimate in [0, 1].
+    alpha: f64,
+    /// Tick of the last rate cut.
+    last_cut: u64,
+    /// Anchor for elapsed alpha-decay periods.
+    alpha_anchor: u64,
+    /// Anchor for elapsed recovery rounds.
+    increase_anchor: u64,
+    /// Recovery rounds completed since the last cut.
+    rounds: u32,
+    /// Whether this QP is currently rate-limited at all. An uncongested
+    /// QP costs nothing: `rate()` short-circuits to line rate.
+    congested: bool,
+}
+
+impl QpRate {
+    fn idle(line_rate: f64) -> Self {
+        QpRate {
+            rate: line_rate,
+            target: line_rate,
+            alpha: 1.0,
+            last_cut: 0,
+            alpha_anchor: 0,
+            increase_anchor: 0,
+            rounds: 0,
+            congested: false,
+        }
+    }
+}
+
+/// The DCQCN reaction point: one rate-control state machine per QP.
+#[derive(Debug)]
+pub struct Dcqcn {
+    cfg: DcqcnConfig,
+    qp: Vec<QpRate>,
+    /// CNPs accepted (caused or refreshed a congested state).
+    cnps: u64,
+}
+
+impl Dcqcn {
+    /// Creates the reaction point for `num_qps` QPs, all at line rate.
+    pub fn new(cfg: DcqcnConfig, num_qps: usize) -> Self {
+        assert!(cfg.line_rate > 0.0 && cfg.min_rate > 0.0);
+        assert!(cfg.min_rate <= cfg.line_rate);
+        assert!((0.0..=1.0).contains(&cfg.gain));
+        assert!(cfg.alpha_period > 0 && cfg.increase_period > 0);
+        Dcqcn {
+            cfg,
+            qp: vec![QpRate::idle(cfg.line_rate); num_qps],
+            cnps: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DcqcnConfig {
+        &self.cfg
+    }
+
+    /// Total CNPs processed.
+    pub fn cnps(&self) -> u64 {
+        self.cnps
+    }
+
+    /// Whether `qpn` is currently below line rate (needs pacing).
+    pub fn is_limited(&self, qpn: usize) -> bool {
+        self.qp[qpn].congested
+    }
+
+    /// A CNP for `qpn` arrived at `now`.
+    pub fn on_cnp(&mut self, qpn: usize, now: u64) {
+        self.cnps += 1;
+        self.advance(qpn, now);
+        let s = &mut self.qp[qpn];
+        if s.congested && now.saturating_sub(s.last_cut) < self.cfg.cnp_holdoff {
+            return; // Absorbed by the previous cut.
+        }
+        s.alpha = ((1.0 - self.cfg.gain) * s.alpha + self.cfg.gain).min(1.0);
+        s.target = s.rate;
+        s.rate = (s.rate * (1.0 - s.alpha / 2.0)).max(self.cfg.min_rate);
+        s.last_cut = now;
+        s.alpha_anchor = now;
+        s.increase_anchor = now;
+        s.rounds = 0;
+        s.congested = true;
+    }
+
+    /// The transmit rate for `qpn` at `now`, in bits/s (after applying
+    /// any recovery rounds that have elapsed).
+    pub fn rate(&mut self, qpn: usize, now: u64) -> f64 {
+        self.advance(qpn, now);
+        self.qp[qpn].rate
+    }
+
+    /// Applies elapsed alpha-decay periods and recovery rounds to `qpn`.
+    fn advance(&mut self, qpn: usize, now: u64) {
+        let cfg = self.cfg;
+        let s = &mut self.qp[qpn];
+        if !s.congested {
+            return;
+        }
+        // Alpha decay: one EWMA step per elapsed period without a CNP.
+        let decays = now.saturating_sub(s.alpha_anchor) / cfg.alpha_period;
+        if decays > 0 {
+            s.alpha *= (1.0 - cfg.gain).powi(decays.min(100_000) as i32);
+            s.alpha_anchor += decays * cfg.alpha_period;
+        }
+        // Recovery rounds: fast recovery, then additive, then hyper.
+        let due = now.saturating_sub(s.increase_anchor) / cfg.increase_period;
+        for _ in 0..due {
+            s.rounds += 1;
+            if s.rounds > cfg.fast_recovery_rounds {
+                let step = if s.rounds > 3 * cfg.fast_recovery_rounds {
+                    cfg.hyper_ai_rate
+                } else {
+                    cfg.ai_rate
+                };
+                s.target = (s.target + step).min(cfg.line_rate);
+            }
+            s.rate = (s.rate + s.target) / 2.0;
+            if s.rate >= cfg.line_rate * 0.999 {
+                // Fully recovered: back to an idle, unpaced QP.
+                *s = QpRate::idle(cfg.line_rate);
+                return;
+            }
+        }
+        s.increase_anchor += due * cfg.increase_period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MICROS: u64 = 1_000_000;
+
+    fn dcqcn() -> Dcqcn {
+        Dcqcn::new(DcqcnConfig::for_line_rate(10e9), 4)
+    }
+
+    #[test]
+    fn idle_qps_run_at_line_rate() {
+        let mut d = dcqcn();
+        assert_eq!(d.rate(0, 0), 10e9);
+        assert!(!d.is_limited(0));
+    }
+
+    #[test]
+    fn first_cnp_halves_the_rate() {
+        let mut d = dcqcn();
+        d.on_cnp(0, 1000);
+        // alpha after update = (1-g)·1 + g = 1, so the cut is rate/2.
+        let r = d.rate(0, 1000);
+        assert!((r - 5e9).abs() < 1e6, "rate after first CNP = {r}");
+        assert!(d.is_limited(0));
+        assert_eq!(d.cnps(), 1);
+    }
+
+    #[test]
+    fn cnps_inside_the_holdoff_are_absorbed() {
+        let mut d = dcqcn();
+        d.on_cnp(0, 0);
+        let r1 = d.rate(0, 0);
+        d.on_cnp(0, 10 * MICROS); // Within the 50 us holdoff.
+        assert_eq!(d.rate(0, 10 * MICROS), r1);
+        d.on_cnp(0, 60 * MICROS); // Past it: cuts again.
+        assert!(d.rate(0, 60 * MICROS) < r1);
+    }
+
+    #[test]
+    fn sustained_cnps_floor_at_min_rate() {
+        let mut d = dcqcn();
+        let mut now = 0;
+        for _ in 0..64 {
+            d.on_cnp(0, now);
+            now += 51 * MICROS;
+        }
+        let floor = d.config().min_rate;
+        assert!(d.rate(0, now) >= floor);
+        assert!(d.rate(0, now) <= floor * 2.0);
+    }
+
+    #[test]
+    fn fast_recovery_climbs_back_toward_the_target() {
+        let mut d = dcqcn();
+        d.on_cnp(0, 0);
+        let cut = d.rate(0, 0);
+        // One recovery round: halfway back to the 10 Gbit/s target.
+        let r = d.rate(0, 56 * MICROS);
+        assert!((r - (cut + 10e9) / 2.0).abs() < 1e6);
+        // More rounds keep climbing monotonically.
+        let mut prev = r;
+        for i in 2..8u64 {
+            let r = d.rate(0, (1 + 55 * i) * MICROS);
+            assert!(r >= prev, "round {i}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn prolonged_silence_recovers_to_line_rate_and_unlimits() {
+        let mut d = dcqcn();
+        for i in 0..8u64 {
+            d.on_cnp(0, i * 51 * MICROS);
+        }
+        // ~30 ms of silence: additive then hyper increase restore line
+        // rate and the QP leaves the congested state.
+        let r = d.rate(0, 30_000 * MICROS);
+        assert_eq!(r, 10e9);
+        assert!(!d.is_limited(0));
+    }
+
+    #[test]
+    fn alpha_decay_softens_later_cuts() {
+        // QP 0 cuts twice in quick succession (alpha still high on the
+        // second cut); QP 1 cuts once, idles for three alpha periods so
+        // alpha decays, then cuts again. Relative to the rate in force
+        // just before each second cut, QP 1 must keep a larger fraction.
+        // A large gain makes the decay visible within a few periods.
+        let mut cfg = DcqcnConfig::for_line_rate(10e9);
+        cfg.gain = 0.5;
+        let mut d = Dcqcn::new(cfg, 4);
+        d.on_cnp(0, 0);
+        d.on_cnp(1, 0);
+        let r0 = d.rate(0, 51 * MICROS);
+        let r1 = d.rate(1, 170 * MICROS);
+        assert!(d.is_limited(1), "must still be congested for the test");
+        d.on_cnp(0, 51 * MICROS);
+        d.on_cnp(1, 170 * MICROS);
+        let frac0 = d.rate(0, 51 * MICROS) / r0;
+        let frac1 = d.rate(1, 170 * MICROS) / r1;
+        assert!(
+            frac1 > frac0,
+            "decayed alpha should cut less: kept {frac1} vs {frac0}"
+        );
+    }
+
+    #[test]
+    fn qps_are_independent() {
+        let mut d = dcqcn();
+        d.on_cnp(2, 0);
+        assert_eq!(d.rate(0, 0), 10e9);
+        assert_eq!(d.rate(1, 0), 10e9);
+        assert!(d.rate(2, 0) < 10e9);
+    }
+
+    #[test]
+    fn deterministic_given_the_same_cnp_schedule() {
+        let run = || {
+            let mut d = dcqcn();
+            let mut out = Vec::new();
+            for i in 0..40u64 {
+                if i % 3 == 0 {
+                    d.on_cnp(0, i * 60 * MICROS);
+                }
+                out.push(d.rate(0, i * 60 * MICROS).to_bits());
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -10,6 +10,7 @@
 //! they are unit-testable in isolation and reusable by the NIC simulation
 //! in `strom-nic`.
 
+pub mod dcqcn;
 pub mod msn_table;
 pub mod multi_queue;
 pub mod psn;
@@ -18,6 +19,7 @@ pub mod responder;
 pub mod retransmit;
 pub mod state_table;
 
+pub use dcqcn::{Dcqcn, DcqcnConfig};
 pub use msn_table::MsnTable;
 pub use multi_queue::MultiQueue;
 pub use psn::{psn_add, psn_cmp, PsnClass};

@@ -80,6 +80,13 @@ pub enum ResponderAction {
         /// Whether this is the final packet of the RPC WRITE message.
         last: bool,
     },
+    /// Echo congestion back to the sender: the packet arrived CE-marked,
+    /// so transmit a CNP on the reverse path (DCQCN congestion point →
+    /// reaction point signal).
+    SendCnp {
+        /// QP whose sender must slow down.
+        qpn: Qpn,
+    },
     /// The packet was a duplicate and was dropped (after re-acking).
     DroppedDuplicate,
     /// The packet was invalid (gap or protocol violation) and was dropped.
@@ -130,7 +137,7 @@ impl Responder {
         let Some(class) = state.classify_request(qpn, psn) else {
             return vec![ResponderAction::DroppedInvalid]; // Unknown QP.
         };
-        match class {
+        let mut actions = match class {
             PsnClass::Valid => {
                 // Forward progress resolves any pending gap.
                 self.nak_armed[qpn as usize] = false;
@@ -141,20 +148,28 @@ impl Responder {
                 if self.nak_armed[qpn as usize] {
                     // One NAK per gap (IB responder rule): the requester
                     // is already retransmitting.
-                    return vec![ResponderAction::DroppedInvalid];
+                    vec![ResponderAction::DroppedInvalid]
+                } else {
+                    self.nak_armed[qpn as usize] = true;
+                    let epsn = state.get(qpn).map(|s| s.epsn).unwrap_or(0);
+                    vec![
+                        ResponderAction::SendNakSequenceError {
+                            qpn,
+                            psn: epsn,
+                            msn: self.msn.msn(qpn),
+                        },
+                        ResponderAction::DroppedInvalid,
+                    ]
                 }
-                self.nak_armed[qpn as usize] = true;
-                let epsn = state.get(qpn).map(|s| s.epsn).unwrap_or(0);
-                vec![
-                    ResponderAction::SendNakSequenceError {
-                        qpn,
-                        psn: epsn,
-                        msn: self.msn.msn(qpn),
-                    },
-                    ResponderAction::DroppedInvalid,
-                ]
             }
+        };
+        // A CE mark is a congestion signal regardless of how the PSN
+        // classified — even a duplicate or out-of-sequence packet crossed
+        // the congested queue, so the sender must still slow down.
+        if pkt.ecn == strom_wire::ipv4::ECN_CE {
+            actions.insert(0, ResponderAction::SendCnp { qpn });
         }
+        actions
     }
 
     fn on_valid(&mut self, state: &mut StateTable, pkt: &Packet) -> Vec<ResponderAction> {
@@ -274,9 +289,11 @@ impl Responder {
             | Opcode::ReadResponseFirst
             | Opcode::ReadResponseMiddle
             | Opcode::ReadResponseLast
-            | Opcode::ReadResponseOnly => {
-                // Responder never sees these; the NIC routes them to the
-                // requester FSM.
+            | Opcode::ReadResponseOnly
+            | Opcode::Cnp => {
+                // Responder never sees these; the NIC routes ACKs and
+                // read responses to the requester FSM and CNPs to the
+                // DCQCN reaction point.
                 actions.push(ResponderAction::DroppedInvalid);
             }
         }
@@ -591,6 +608,30 @@ mod tests {
         );
         let actions = r.on_packet(&mut st, &middle);
         assert_eq!(actions, vec![ResponderAction::DroppedInvalid]);
+    }
+
+    #[test]
+    fn ce_marked_packet_prepends_a_cnp() {
+        let (mut st, mut r) = setup();
+        let mut pkt = write_only(0, 0x1000, b"abc");
+        pkt.ecn = strom_wire::ipv4::ECN_CE;
+        let actions = r.on_packet(&mut st, &pkt);
+        assert_eq!(actions[0], ResponderAction::SendCnp { qpn: 1 });
+        assert!(matches!(actions[1], ResponderAction::WritePayload { .. }));
+        assert!(matches!(actions[2], ResponderAction::SendAck { .. }));
+        // A CE-marked duplicate still signals congestion.
+        let again = r.on_packet(&mut st, &pkt);
+        assert_eq!(again[0], ResponderAction::SendCnp { qpn: 1 });
+        assert!(again.contains(&ResponderAction::DroppedDuplicate));
+    }
+
+    #[test]
+    fn unmarked_packets_never_generate_cnps() {
+        let (mut st, mut r) = setup();
+        let actions = r.on_packet(&mut st, &write_only(0, 0x1000, b"abc"));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, ResponderAction::SendCnp { .. })));
     }
 
     #[test]

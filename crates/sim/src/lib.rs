@@ -27,8 +27,8 @@ pub mod wheel;
 pub use event::{EventQueue, ReferenceEventQueue, Scheduled};
 pub use fifo::Fifo;
 pub use parallel::{default_workers, parallel_map};
-pub use rate::{Bandwidth, LinkSerializer};
+pub use rate::{Bandwidth, LinkSerializer, Pacer};
 pub use rng::SimRng;
 pub use stats::{LatencySummary, Samples};
-pub use switch::{Delivery, Switch, SwitchConfig, SwitchPortCounters, TailDrop};
+pub use switch::{Delivery, EcnConfig, Switch, SwitchConfig, SwitchPortCounters, TailDrop};
 pub use time::{Clock, Time, TimeDelta};

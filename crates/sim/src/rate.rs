@@ -126,6 +126,52 @@ impl LinkSerializer {
     }
 }
 
+/// Spaces transmissions to a *variable* target rate — the transmit-side
+/// half of a congestion-control loop.
+///
+/// Unlike [`LinkSerializer`], whose bandwidth is a fixed property of the
+/// medium, a pacer is told the current rate on every call (DCQCN adjusts
+/// it between packets). `pace` returns the earliest time the given
+/// transmission may start so that consecutive transmissions average the
+/// requested rate: each packet reserves `bytes / rate` of pacer time
+/// starting at `max(now, next_slot)`.
+///
+/// A pacer never delays below line rate on its own — callers feed its
+/// result into [`LinkSerializer::admit`] as the submission time, so the
+/// effective start is the later of the paced slot and the link's own
+/// `busy_until`, and timer re-arming based on `busy_until` keeps working
+/// unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct Pacer {
+    next_slot: Time,
+}
+
+impl Pacer {
+    /// Creates an idle pacer (first transmission is never delayed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves pacer time for `bytes` at `rate`; returns the earliest
+    /// permitted start of this transmission.
+    pub fn pace(&mut self, now: Time, bytes: u64, rate: Bandwidth) -> Time {
+        let start = now.max(self.next_slot);
+        self.next_slot = start + rate.transfer_time_ps(bytes);
+        start
+    }
+
+    /// The earliest time the next transmission may start (the end of the
+    /// last reservation) — where to schedule a transmit-queue wakeup.
+    pub fn next_ready(&self) -> Time {
+        self.next_slot
+    }
+
+    /// Resets the pacer to idle.
+    pub fn reset(&mut self) {
+        self.next_slot = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +220,28 @@ mod tests {
         link.reset();
         assert_eq!(link.busy_until(), 0);
         assert_eq!(link.bytes_total(), 0);
+    }
+
+    #[test]
+    fn pacer_spaces_packets_to_the_requested_rate() {
+        let mut p = Pacer::new();
+        let half = Bandwidth::gbit_per_sec(5.0);
+        // 1250 B at 5 Gbit/s reserve 2 us of pacer time each.
+        assert_eq!(p.pace(0, 1250, half), 0);
+        assert_eq!(p.pace(0, 1250, half), 2 * MICROS);
+        assert_eq!(p.pace(0, 1250, half), 4 * MICROS);
+        // An idle gap larger than the reservation is not credited back.
+        assert_eq!(p.pace(100 * MICROS, 1250, half), 100 * MICROS);
+    }
+
+    #[test]
+    fn pacer_tracks_rate_changes_immediately() {
+        let mut p = Pacer::new();
+        assert_eq!(p.pace(0, 1250, Bandwidth::gbit_per_sec(10.0)), 0);
+        // Rate halves: the next packet is spaced at the new rate from the
+        // previous reservation's end.
+        assert_eq!(p.pace(0, 1250, Bandwidth::gbit_per_sec(5.0)), MICROS);
+        assert_eq!(p.pace(0, 1250, Bandwidth::gbit_per_sec(5.0)), 3 * MICROS);
     }
 
     #[test]

@@ -35,7 +35,48 @@
 use std::collections::VecDeque;
 
 use crate::rate::{Bandwidth, LinkSerializer};
+use crate::rng::SimRng;
 use crate::time::{Time, TimeDelta};
+
+/// ECN marking policy for a [`Switch`] egress queue (RED/WRED-style).
+///
+/// A frame admitted to an egress queue observes the queue occupancy
+/// `q` (frames already queued ahead of it, including the one in
+/// service):
+///
+/// * `q < min_threshold` — never marked;
+/// * `q >= max_threshold` — always marked;
+/// * otherwise — marked with probability
+///   `max_mark_prob * (q - min_threshold) / (max_threshold - min_threshold)`,
+///   drawn from a dedicated [`SimRng`] stream seeded at construction.
+///
+/// Setting `min_threshold == max_threshold` gives a deterministic step
+/// marker that consumes **zero** RNG draws — the configuration used by
+/// reproducibility tests. Marking never drops frames; tail-drop at
+/// `egress_capacity` still applies above it.
+#[derive(Debug, Clone, Copy)]
+pub struct EcnConfig {
+    /// Occupancy below which frames are never marked.
+    pub min_threshold: usize,
+    /// Occupancy at or above which frames are always marked.
+    pub max_threshold: usize,
+    /// Marking probability as occupancy reaches `max_threshold`.
+    pub max_mark_prob: f64,
+    /// Seed of the switch's private WRED RNG stream.
+    pub seed: u64,
+}
+
+impl EcnConfig {
+    /// A deterministic step marker at `threshold` (no RNG draws).
+    pub fn step(threshold: usize) -> Self {
+        EcnConfig {
+            min_threshold: threshold,
+            max_threshold: threshold,
+            max_mark_prob: 1.0,
+            seed: 0,
+        }
+    }
+}
 
 /// Geometry and timing of a [`Switch`].
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +91,10 @@ pub struct SwitchConfig {
     /// Maximum frames queued per egress port (including the frame in
     /// service); a granted frame beyond this bound is tail-dropped.
     pub egress_capacity: usize,
+    /// ECN marking policy; `None` disables marking entirely (no RNG is
+    /// even constructed, so disabled switches are bit-identical to the
+    /// pre-ECN model).
+    pub ecn: Option<EcnConfig>,
 }
 
 /// Per-port forwarding statistics.
@@ -63,6 +108,11 @@ pub struct SwitchPortCounters {
     pub bytes_out: u64,
     /// Frames tail-dropped at this egress port's queue bound.
     pub tail_drops: u64,
+    /// Frames ECN-marked (CE) at this egress port.
+    pub ecn_marked: u64,
+    /// High watermark of this egress port's queue depth (frames,
+    /// including the one in service) observed at admission time.
+    pub queue_peak: u64,
 }
 
 /// A frame waiting in an ingress FIFO.
@@ -85,6 +135,9 @@ pub struct Delivery<T> {
     pub dst: usize,
     /// When the egress serializer finishes transmitting the frame.
     pub egress_end: Time,
+    /// Whether the egress queue's ECN policy marked this frame (the
+    /// caller applies the CE codepoint to the frame bytes).
+    pub marked: bool,
     /// Caller payload attached at [`Switch::enqueue`].
     pub payload: T,
 }
@@ -115,6 +168,10 @@ pub struct Switch<T> {
     /// the next round.
     rr: Vec<usize>,
     counters: Vec<SwitchPortCounters>,
+    /// WRED marking stream; present only when `cfg.ecn` is, and drawn
+    /// from only inside the probabilistic band, so deterministic
+    /// configurations consume no randomness at all.
+    mark_rng: Option<SimRng>,
 }
 
 impl<T> Switch<T> {
@@ -138,6 +195,7 @@ impl<T> Switch<T> {
             egress_queue: (0..cfg.ports).map(|_| VecDeque::new()).collect(),
             rr: vec![0; cfg.ports],
             counters: vec![SwitchPortCounters::default(); cfg.ports],
+            mark_rng: cfg.ecn.map(|e| SimRng::seed(e.seed)),
         }
     }
 
@@ -226,7 +284,8 @@ impl<T> Switch<T> {
                 while self.egress_queue[e].front().is_some_and(|&end| end <= now) {
                     self.egress_queue[e].pop_front();
                 }
-                if self.egress_queue[e].len() >= self.cfg.egress_capacity {
+                let occupancy = self.egress_queue[e].len();
+                if occupancy >= self.cfg.egress_capacity {
                     self.counters[e].tail_drops += 1;
                     drops.push(TailDrop {
                         src,
@@ -235,14 +294,20 @@ impl<T> Switch<T> {
                     });
                     continue;
                 }
+                let marked = self.mark_decision(e, occupancy);
                 let (_, egress_end) = self.egress[e].admit(now, frame.wire_bytes);
                 self.egress_queue[e].push_back(egress_end);
                 self.counters[e].frames_out += 1;
                 self.counters[e].bytes_out += frame.wire_bytes;
+                self.counters[e].queue_peak = self.counters[e].queue_peak.max(occupancy as u64 + 1);
+                if marked {
+                    self.counters[e].ecn_marked += 1;
+                }
                 deliveries.push(Delivery {
                     src,
                     dst: e,
                     egress_end,
+                    marked,
                     payload: frame.payload,
                 });
             }
@@ -250,6 +315,27 @@ impl<T> Switch<T> {
                 return;
             }
         }
+    }
+
+    /// The WRED marking decision for a frame admitted to egress `e` that
+    /// observes `occupancy` frames queued ahead of it. RNG is consumed
+    /// only inside the probabilistic band between the thresholds.
+    fn mark_decision(&mut self, _e: usize, occupancy: usize) -> bool {
+        let Some(ecn) = self.cfg.ecn else {
+            return false;
+        };
+        if occupancy >= ecn.max_threshold {
+            return true;
+        }
+        if occupancy < ecn.min_threshold {
+            return false;
+        }
+        let span = (ecn.max_threshold - ecn.min_threshold) as f64;
+        let p = ecn.max_mark_prob * (occupancy - ecn.min_threshold) as f64 / span;
+        self.mark_rng
+            .as_mut()
+            .expect("mark_rng exists iff cfg.ecn does")
+            .chance(p)
     }
 }
 
@@ -264,6 +350,7 @@ mod tests {
             port_rate: Bandwidth::gbit_per_sec(10.0),
             latency: 300 * NANOS,
             egress_capacity: capacity,
+            ecn: None,
         }
     }
 
@@ -360,6 +447,76 @@ mod tests {
         // Egress completion times are strictly increasing: the
         // serializer admits them back to back.
         assert!(d.windows(2).all(|w| w[0].egress_end < w[1].egress_end));
+    }
+
+    #[test]
+    fn step_marking_fires_exactly_at_the_threshold() {
+        // Step marker at occupancy 2: frames 0 and 1 (seeing 0 and 1
+        // queued ahead) pass unmarked; frames 2.. (seeing >= 2) are CE.
+        let mut c = cfg(3, 64);
+        c.ecn = Some(EcnConfig::step(2));
+        let mut sw = Switch::new(c);
+        for i in 0..6u32 {
+            sw.enqueue(0, 2, 1_000, 0, i);
+        }
+        let (d, x) = drain(&mut sw, 300 * NANOS);
+        assert!(x.is_empty());
+        let marks: Vec<bool> = d.iter().map(|g| g.marked).collect();
+        assert_eq!(marks, vec![false, false, true, true, true, true]);
+        assert_eq!(sw.counters(2).ecn_marked, 4);
+        assert_eq!(sw.counters(2).queue_peak, 6);
+    }
+
+    #[test]
+    fn queue_peak_tracks_the_high_watermark() {
+        let mut sw = Switch::new(cfg(2, 64));
+        sw.enqueue(0, 1, 1_000, 0, 0);
+        drain(&mut sw, 300 * NANOS);
+        assert_eq!(sw.counters(1).queue_peak, 1);
+        // Two more while the first may still serialize.
+        sw.enqueue(0, 1, 1_000, 0, 1);
+        sw.enqueue(0, 1, 1_000, 0, 2);
+        drain(&mut sw, 300 * NANOS);
+        assert_eq!(sw.counters(1).queue_peak, 3);
+    }
+
+    #[test]
+    fn wred_band_marks_probabilistically_and_reproducibly() {
+        let run = |seed: u64| {
+            let mut c = cfg(2, 4096);
+            c.ecn = Some(EcnConfig {
+                min_threshold: 0,
+                max_threshold: 1_000,
+                max_mark_prob: 0.5,
+                seed,
+            });
+            let mut sw = Switch::new(c);
+            for i in 0..900u32 {
+                sw.enqueue(0, 1, 1_000, 0, i);
+            }
+            let (d, _) = drain(&mut sw, 300 * NANOS);
+            d.iter().map(|g| g.marked).collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same marks");
+        assert_ne!(a, run(8), "different seed, different marks");
+        // Probability ramps from 0 toward 0.5·0.9: the tail should mark
+        // far more often than the head, and neither all nor none.
+        let head = a[..300].iter().filter(|&&m| m).count();
+        let tail = a[600..].iter().filter(|&&m| m).count();
+        assert!(head < tail, "head {head} vs tail {tail}");
+        assert!(tail > 60 && head < 120);
+    }
+
+    #[test]
+    fn disabled_ecn_never_marks() {
+        let mut sw = Switch::new(cfg(3, 2));
+        for i in 0..6u32 {
+            sw.enqueue(0, 2, 1_000, 0, i);
+        }
+        let (d, _) = drain(&mut sw, 300 * NANOS);
+        assert!(d.iter().all(|g| !g.marked));
+        assert_eq!(sw.counters(2).ecn_marked, 0);
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct WireCounters {
     pub frames_duplicated: u64,
     /// Payload bytes written to host memory by WRITEs.
     pub payload_bytes_rx: u64,
+    /// Congestion notification packets transmitted (responder saw a
+    /// CE-marked frame and echoed it to the sender).
+    pub cnps_tx: u64,
+    /// Congestion notification packets received (DCQCN rate cuts applied
+    /// on this node's requester side).
+    pub cnps_rx: u64,
 }
 
 impl WireCounters {
@@ -38,7 +44,7 @@ impl WireCounters {
     }
 
     /// `(name, value)` pairs in a fixed order, for report export.
-    pub fn entries(&self) -> [(&'static str, u64); 8] {
+    pub fn entries(&self) -> [(&'static str, u64); 10] {
         [
             ("commands", self.commands),
             ("frames_rx", self.frames_rx),
@@ -48,6 +54,8 @@ impl WireCounters {
             ("frames_reordered", self.frames_reordered),
             ("frames_duplicated", self.frames_duplicated),
             ("payload_bytes_rx", self.payload_bytes_rx),
+            ("cnps_tx", self.cnps_tx),
+            ("cnps_rx", self.cnps_rx),
         ]
     }
 }
@@ -66,7 +74,8 @@ mod tests {
         };
         assert_eq!(c.frames_dropped_total(), 7);
         let entries = c.entries();
-        assert_eq!(entries.len(), 8);
+        assert_eq!(entries.len(), 10);
         assert_eq!(entries[3], ("frames_crc_dropped", 2));
+        assert_eq!(entries[8], ("cnps_tx", 0));
     }
 }

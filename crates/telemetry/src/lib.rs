@@ -29,7 +29,9 @@ pub mod report;
 pub mod trace;
 
 pub use counters::WireCounters;
-pub use metrics::{Counter, Gauge, Histogram, HistogramHandle, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    jain_index, Counter, Gauge, Histogram, HistogramHandle, MetricsRegistry, MetricsSnapshot,
+};
 pub use report::{TelemetryReport, TraceStats};
 pub use trace::{DropReason, QpState, TraceEvent, TraceRecord, TraceSink};
 

@@ -208,6 +208,21 @@ impl Histogram {
     }
 }
 
+/// Jain's fairness index over per-flow allocations: `(Σx)² / (n·Σx²)`.
+///
+/// 1.0 means perfectly equal shares; `k/n` means `k` flows split the
+/// resource while `n−k` starve. Returns 1.0 for an empty or all-zero
+/// input (nothing is being shared unfairly).
+pub fn jain_index(allocations: &[f64]) -> f64 {
+    let n = allocations.len() as f64;
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sq_sum)
+}
+
 /// A shared handle to one registered histogram.
 #[derive(Debug, Clone, Default)]
 pub struct HistogramHandle(Arc<Mutex<Histogram>>);
@@ -311,6 +326,19 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jain_index_spans_equal_to_starved() {
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        // One of four flows hogging everything: index = 1/4.
+        assert!((jain_index(&[12.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Degenerate inputs are "fair" by convention.
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        // Mild skew sits strictly between the extremes.
+        let j = jain_index(&[4.0, 5.0, 6.0]);
+        assert!(j > 0.9 && j < 1.0, "got {j}");
+    }
 
     #[test]
     fn bucket_layout_is_contiguous_and_ordered() {

@@ -225,7 +225,7 @@ mod tests {
     fn bth_rejects_reserved_opcode() {
         let mut buf = Vec::new();
         Bth::new(Opcode::WriteOnly, 1, 1, false).encode(&mut buf);
-        buf[0] = 0b000_11101; // Reserved StRoM op-code.
+        buf[0] = 0b000_11110; // Reserved StRoM op-code (11101 is now CNP).
         assert!(Bth::parse(&buf).is_none());
     }
 

@@ -8,6 +8,15 @@
 /// Length of an IPv4 header without options (StRoM never emits options).
 pub const IPV4_HEADER_LEN: usize = 20;
 
+/// ECN codepoint: not ECN-capable transport (the default).
+pub const ECN_NOT_ECT: u8 = 0b00;
+
+/// ECN codepoint: ECN-capable transport (ECT(0), RFC 3168).
+pub const ECN_ECT0: u8 = 0b10;
+
+/// ECN codepoint: congestion experienced, set by a marking switch.
+pub const ECN_CE: u8 = 0b11;
+
 /// An IPv4 address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ipv4Addr(pub [u8; 4]);
@@ -52,6 +61,8 @@ pub struct Ipv4Header {
     pub ttl: u8,
     /// Identification field (used for diagnostics only).
     pub ident: u16,
+    /// ECN codepoint (2 bits): `ECN_NOT_ECT`, `ECN_ECT0`, or `ECN_CE`.
+    pub ecn: u8,
 }
 
 /// Protocol number for UDP.
@@ -67,6 +78,7 @@ impl Ipv4Header {
             protocol: PROTO_UDP,
             ttl: 64,
             ident,
+            ecn: ECN_NOT_ECT,
         }
     }
 
@@ -74,7 +86,7 @@ impl Ipv4Header {
     pub fn encode(&self, out: &mut Vec<u8>) {
         let start = out.len();
         out.push(0x45); // Version 4, IHL 5.
-        out.push(0); // DSCP/ECN.
+        out.push(self.ecn & 0b11); // DSCP 0, ECN in the low two bits.
         out.extend_from_slice(&self.total_len.to_be_bytes());
         out.extend_from_slice(&self.ident.to_be_bytes());
         out.extend_from_slice(&[0x40, 0x00]); // Flags: DF, fragment offset 0.
@@ -106,6 +118,7 @@ impl Ipv4Header {
         }
         let header = Ipv4Header {
             total_len,
+            ecn: buf[1] & 0b11,
             ident: u16::from_be_bytes([buf[4], buf[5]]),
             ttl: buf[8],
             protocol: buf[9],
@@ -114,6 +127,29 @@ impl Ipv4Header {
         };
         Some((header, &buf[IPV4_HEADER_LEN..total_len as usize]))
     }
+}
+
+/// Marks Congestion Experienced on an encoded IPv4 header in place.
+///
+/// `header` must start at byte 0 of the IPv4 header (at least
+/// [`IPV4_HEADER_LEN`] bytes). Only ECN-capable packets (ECT codepoints)
+/// may be marked — a switch never invents ECN support the endpoint did not
+/// advertise — so Not-ECT packets are left untouched and `false` is
+/// returned. The header checksum is recomputed; the ICRC is unaffected
+/// because it covers only the IB transport headers and payload.
+pub fn mark_ce(header: &mut [u8]) -> bool {
+    if header.len() < IPV4_HEADER_LEN || header[0] != 0x45 {
+        return false;
+    }
+    if header[1] & 0b11 == ECN_NOT_ECT {
+        return false;
+    }
+    header[1] |= ECN_CE;
+    header[10] = 0;
+    header[11] = 0;
+    let csum = checksum(&header[..IPV4_HEADER_LEN]);
+    header[10..12].copy_from_slice(&csum.to_be_bytes());
+    true
 }
 
 /// The Internet checksum (RFC 1071) over `data`.
@@ -212,5 +248,58 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Ipv4Addr::from_node_id(3).to_string(), "10.1.212.3");
+    }
+
+    #[test]
+    fn ecn_round_trips_through_encode_parse() {
+        for ecn in [ECN_NOT_ECT, ECN_ECT0, ECN_CE] {
+            let mut h = sample();
+            h.ecn = ecn;
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            buf.extend_from_slice(&[0u8; 100]);
+            let (parsed, _) = Ipv4Header::parse(&buf).unwrap();
+            assert_eq!(parsed.ecn, ecn);
+        }
+    }
+
+    #[test]
+    fn default_header_byte_stream_is_unchanged_by_the_ecn_field() {
+        // Not-ECT encodes byte 1 as zero — exactly the pre-ECN byte
+        // stream, so pinned pcap goldens and fingerprints are unaffected.
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(buf[1], 0);
+    }
+
+    #[test]
+    fn mark_ce_sets_the_codepoint_and_fixes_the_checksum() {
+        let mut h = sample();
+        h.ecn = ECN_ECT0;
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 100]);
+        assert!(mark_ce(&mut buf));
+        let (parsed, _) = Ipv4Header::parse(&buf).expect("checksum repaired");
+        assert_eq!(parsed.ecn, ECN_CE);
+    }
+
+    #[test]
+    fn mark_ce_refuses_not_ect_packets() {
+        let h = sample();
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let before = buf.clone();
+        assert!(!mark_ce(&mut buf));
+        assert_eq!(buf, before, "Not-ECT frames must not be altered");
+    }
+
+    #[test]
+    fn mark_ce_rejects_short_or_non_ipv4_buffers() {
+        assert!(!mark_ce(&mut [0u8; IPV4_HEADER_LEN - 1]));
+        let mut not_ip = [0u8; IPV4_HEADER_LEN];
+        not_ip[0] = 0x46;
+        assert!(!mark_ce(&mut not_ip));
     }
 }

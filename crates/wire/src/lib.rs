@@ -25,7 +25,7 @@ pub mod udp;
 
 pub use bth::{Aeth, Bth, Reth, AETH_LEN, BTH_LEN, RETH_LEN};
 pub use ethernet::{EtherType, MacAddr, ETHERNET_HEADER_LEN, ETHERNET_MIN_FRAME};
-pub use ipv4::{Ipv4Addr, Ipv4Header, IPV4_HEADER_LEN};
+pub use ipv4::{mark_ce, Ipv4Addr, Ipv4Header, ECN_CE, ECN_ECT0, ECN_NOT_ECT, IPV4_HEADER_LEN};
 pub use opcode::{Opcode, RpcOpCode};
 pub use packet::{Packet, PacketError};
 pub use pcap::PcapWriter;

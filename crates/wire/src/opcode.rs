@@ -11,7 +11,13 @@
 //! | `RPC WRITE` | `11010` | RDMA RPC WRITE Middle  |
 //! | `RPC WRITE` | `11011` | RDMA RPC WRITE Last    |
 //! | `RPC WRITE` | `11100` | RDMA RPC WRITE Only    |
-//! |             | `11101`–`11111` | reserved       |
+//! |             | `11101` | CNP (congestion notification, DCQCN) |
+//! |             | `11110`–`11111` | reserved       |
+//!
+//! The CNP op-code is this repo's congestion-control extension (not in the
+//! paper's Table 1): it occupies the first reserved slot, mirroring how
+//! RoCE v2 DCQCN reserves a BTH op-code for its congestion notification
+//! packets.
 //!
 //! The BTH op-code field is 8 bits: a 3-bit transport prefix (RC = `000`)
 //! followed by the 5-bit operation code listed above.
@@ -53,11 +59,14 @@ pub enum Opcode {
     RpcWriteLast = 0b11011,
     /// StRoM: RDMA RPC WRITE Only.
     RpcWriteOnly = 0b11100,
+    /// Congestion Notification Packet (DCQCN): sent by a responder when a
+    /// CE-marked frame arrives; carries no RETH, AETH, or payload.
+    Cnp = 0b11101,
 }
 
 impl Opcode {
     /// All op-codes the StRoM stack understands.
-    pub const ALL: [Opcode; 15] = [
+    pub const ALL: [Opcode; 16] = [
         Opcode::WriteFirst,
         Opcode::WriteMiddle,
         Opcode::WriteLast,
@@ -73,6 +82,7 @@ impl Opcode {
         Opcode::RpcWriteMiddle,
         Opcode::RpcWriteLast,
         Opcode::RpcWriteOnly,
+        Opcode::Cnp,
     ];
 
     /// Decodes the 5-bit operation part of a BTH op-code byte.
@@ -126,7 +136,10 @@ impl Opcode {
 
     /// Whether packets with this op-code carry payload.
     pub fn has_payload(self) -> bool {
-        !matches!(self, Opcode::ReadRequest | Opcode::Acknowledge)
+        !matches!(
+            self,
+            Opcode::ReadRequest | Opcode::Acknowledge | Opcode::Cnp
+        )
     }
 
     /// Whether this op-code starts a message (First or Only variants).
@@ -179,6 +192,7 @@ impl Opcode {
             Opcode::RpcWriteMiddle => "RDMA RPC WRITE Middle",
             Opcode::RpcWriteLast => "RDMA RPC WRITE Last",
             Opcode::RpcWriteOnly => "RDMA RPC WRITE Only",
+            Opcode::Cnp => "Congestion Notification",
         }
     }
 }
@@ -234,9 +248,19 @@ mod tests {
 
     #[test]
     fn reserved_opcodes_do_not_decode() {
-        for op in 0b11101..=0b11111u8 {
+        for op in 0b11110..=0b11111u8 {
             assert_eq!(Opcode::from_wire(op), None, "op {op:#07b} is reserved");
         }
+    }
+
+    #[test]
+    fn cnp_is_a_bare_notification() {
+        assert_eq!(Opcode::Cnp as u8, 0b11101);
+        assert!(!Opcode::Cnp.is_strom_extension());
+        assert!(!Opcode::Cnp.has_reth());
+        assert!(!Opcode::Cnp.has_aeth());
+        assert!(!Opcode::Cnp.has_payload());
+        assert!(!Opcode::Cnp.ends_message(), "CNPs are never acked");
     }
 
     #[test]
