@@ -52,6 +52,12 @@ pub struct IncastSpec {
     pub elephants: usize,
     /// Window multiplier for elephant senders (≥ 1).
     pub elephant_boost: usize,
+    /// READ-heavy mode: node 0 issues RDMA READs *from* every peer
+    /// instead of the peers writing to it. The congested traffic is then
+    /// the read-*response* streams converging on node 0's egress port —
+    /// the case where DCQCN only helps if responders pace their
+    /// responses (CE-marked responses echo CNPs back to the responder).
+    pub reads: bool,
 }
 
 impl IncastSpec {
@@ -68,6 +74,7 @@ impl IncastSpec {
             retransmit_timeout: None,
             elephants: 0,
             elephant_boost: 1,
+            reads: false,
         }
     }
 
@@ -183,16 +190,26 @@ pub fn run_incast_instrumented(spec: &IncastSpec) -> (IncastOutcome, MetricsRegi
     let mut per_sender_bytes = vec![0u64; n];
     let mut finished_at = vec![t0; n];
     let mut latency = Histogram::new();
+    // READ mode inverts who posts: node 0 is the requester on every QP
+    // and pulls each peer's staged buffer; the data still flows
+    // peer → node 0, so completion polling and memory verification stay
+    // on the same nodes in both modes.
+    let post_node = |s: usize| if spec.reads { receiver } else { s + 1 };
     let post_next = |tb: &mut ClusterTestbed, s: usize, posted: &mut Vec<usize>| {
-        let h = tb.post(
-            s + 1,
-            sender_qpn(s),
+        let wr = if spec.reads {
+            WorkRequest::Read {
+                remote_vaddr: src[s].0,
+                local_vaddr: dst_base + msg * s as u64,
+                len: spec.message_len,
+            }
+        } else {
             WorkRequest::Write {
                 remote_vaddr: dst_base + msg * s as u64,
                 local_vaddr: src[s].0,
                 len: spec.message_len,
-            },
-        );
+            }
+        };
+        let h = tb.post(post_node(s), sender_qpn(s), wr);
         posted[s] += 1;
         (h, tb.now())
     };
@@ -205,11 +222,11 @@ pub fn run_incast_instrumented(spec: &IncastSpec) -> (IncastOutcome, MetricsRegi
         let mut all_done = true;
         for s in 0..n {
             while let Some(&(h, posted_at)) = outstanding[s].front() {
-                let Some(t) = tb.completed_at(s + 1, h) else {
+                let Some(t) = tb.completed_at(post_node(s), h) else {
                     break;
                 };
                 outstanding[s].pop_front();
-                match tb.completion_status(s + 1, h) {
+                match tb.completion_status(post_node(s), h) {
                     Some(CompletionStatus::Success) => {
                         latency.record(t.saturating_sub(posted_at));
                         per_sender_bytes[s] += msg;
@@ -279,8 +296,11 @@ pub fn run_incast_instrumented(spec: &IncastSpec) -> (IncastOutcome, MetricsRegi
         ecn_marked: (0..n + 1)
             .map(|p| tb.switch_counters(p).map_or(0, |c| c.ecn_marked))
             .sum(),
-        cnps: (0..n).map(|s| tb.status(s + 1).wire.cnps_rx).sum(),
-        retransmissions: (0..n).map(|s| tb.retransmissions(s + 1)).sum(),
+        // Summed over *all* nodes: in write mode the rate-cut signals
+        // land on the senders, in read mode on the responding peers and
+        // the retransmissions on the requesting node 0.
+        cnps: (0..=n).map(|p| tb.status(p).wire.cnps_rx).sum(),
+        retransmissions: (0..=n).map(|p| tb.retransmissions(p)).sum(),
         qp_errors: dead.iter().filter(|&&d| d).count(),
         per_sender_bytes,
         jain: jain_index(&rates),
@@ -359,6 +379,63 @@ mod tests {
             on.jain,
             off.jain
         );
+    }
+
+    #[test]
+    fn read_incast_paces_responses_through_dcqcn() {
+        // N:1 READ incast: node 0 pulls from 4 peers at once, so the
+        // congested stream is read *responses* converging on node 0's
+        // egress port. This only benefits from DCQCN because responders
+        // pace their responses through the per-QP pacer and CE-marked
+        // responses echo CNPs back — the regression this test pins.
+        let run = |cc: bool| {
+            let mut spec = IncastSpec::new(4, 4, 0x2EAD);
+            spec.messages_per_sender = 12;
+            spec.reads = true;
+            spec.retransmit_timeout = Some(1_000 * MICROS);
+            spec.switch = congested_switch(32, cc.then(|| EcnConfig::step(8)));
+            spec.cc = cc;
+            run_incast(&spec)
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(on.qp_errors, 0, "paced READ incast must not error QPs");
+        assert!(
+            on.ecn_marked > 0,
+            "4:1 response overload must cross the mark threshold"
+        );
+        assert!(
+            on.cnps > 0,
+            "CE-marked responses must echo CNPs to the responders"
+        );
+        assert!(
+            off.tail_drops > 0,
+            "operating point too mild: CC-off READ incast did not drop"
+        );
+        assert!(
+            on.tail_drops < off.tail_drops,
+            "response pacing should shed drops: {} (on) vs {} (off)",
+            on.tail_drops,
+            off.tail_drops
+        );
+        assert!(
+            on.retransmissions < off.retransmissions,
+            "fewer drops should mean fewer retransmissions: {} (on) vs {} (off)",
+            on.retransmissions,
+            off.retransmissions
+        );
+    }
+
+    #[test]
+    fn read_incast_reruns_reproduce_the_outcome() {
+        let mut spec = IncastSpec::new(3, 3, 0x2EAD5);
+        spec.messages_per_sender = 8;
+        spec.reads = true;
+        spec.switch = congested_switch(128, Some(EcnConfig::step(12)));
+        spec.cc = true;
+        let a = run_incast(&spec);
+        let b = run_incast(&spec);
+        assert_eq!(a, b, "READ incast rerun diverged");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod controller;
 pub mod event;
 pub mod fabric;
 pub mod fault;
+pub mod pdes_cluster;
 pub mod testbed;
 
 pub use config::NicConfig;
@@ -34,7 +35,10 @@ pub use controller::{CommandWord, StatusRegisters};
 pub use event::{Event, NodeId};
 pub use fabric::KernelFabric;
 pub use fault::{LinkFaultModel, LossModel};
-pub use testbed::{ClusterTestbed, CpuFallback, SwitchParams, Testbed, WatchId};
+pub use pdes_cluster::{
+    run_pdes_cluster, run_pdes_cluster_reference, ClusterPdesReport, PdesClusterParams,
+};
+pub use testbed::{ClusterTestbed, CpuFallback, LookaheadReport, SwitchParams, Testbed, WatchId};
 
 pub use chaos::{active_fault_types, chaos_model};
 

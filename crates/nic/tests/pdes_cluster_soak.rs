@@ -1,0 +1,78 @@
+//! Chaos-soak for the PDES cluster model: across 24 seeds, the
+//! sequential reference, the 1-worker windowed engine, and the
+//! many-worker windowed engine must agree on every digest, counter
+//! block, and RTT sum — and the default-geometry digest is pinned to a
+//! checked-in golden so an engine change that silently reorders events
+//! fails loudly. Regenerate the golden with `STROM_BLESS=1 cargo test
+//! -p strom-nic --test pdes_cluster_soak` after an *intentional* model
+//! change.
+
+use strom_nic::{run_pdes_cluster, run_pdes_cluster_reference, PdesClusterParams};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/pdes_cluster.digest"
+);
+
+fn soak_params(seed: u64) -> PdesClusterParams {
+    PdesClusterParams {
+        nodes: 5,
+        seed,
+        requests_per_node: 60,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn twenty_four_seed_soak_agrees_across_engines() {
+    for seed in 0..24u64 {
+        let params = soak_params(0x50AC ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let reference = run_pdes_cluster_reference(&params);
+        let one = run_pdes_cluster(&params, 1);
+        let many = run_pdes_cluster(&params, 6);
+
+        for (label, got) in [("1 worker", &one), ("6 workers", &many)] {
+            assert_eq!(
+                got.digest, reference.digest,
+                "seed {seed}: {label} digest diverged from the reference"
+            );
+            assert_eq!(
+                got.pdes.fingerprint, reference.pdes.fingerprint,
+                "seed {seed}"
+            );
+            assert_eq!(
+                got.pdes.partition_fingerprints, reference.pdes.partition_fingerprints,
+                "seed {seed}: {label} per-partition streams diverged"
+            );
+            assert_eq!(got.pdes.events, reference.pdes.events, "seed {seed}");
+            assert_eq!(
+                got.partition_counters, reference.partition_counters,
+                "seed {seed}: {label} counters diverged"
+            );
+            assert_eq!(got.total, reference.total, "seed {seed}");
+            assert_eq!(got.rtt_sum, reference.rtt_sum, "seed {seed}");
+        }
+        // Sanity: the workload actually exercised the fabric.
+        assert!(reference.total.frames_out > 0, "seed {seed}: no traffic");
+        assert!(reference.total.responses > 0, "seed {seed}: no responses");
+    }
+}
+
+/// The default-geometry digest, pinned. Catches cross-version drift the
+/// differential soak cannot (all three engines drifting together).
+#[test]
+fn default_geometry_digest_matches_the_golden() {
+    let report = run_pdes_cluster(&PdesClusterParams::default(), 2);
+    let got = format!("{:016x}\n", report.digest);
+    if std::env::var_os("STROM_BLESS").is_some() {
+        std::fs::write(GOLDEN, &got).expect("write golden digest");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN).expect(
+        "golden digest present (regenerate with STROM_BLESS=1 after an intentional model change)",
+    );
+    assert_eq!(
+        got, want,
+        "PDES cluster digest drifted from the checked-in golden"
+    );
+}

@@ -20,6 +20,19 @@ use strom_telemetry::{Counter, TraceSink};
 use crate::time::{Time, TimeDelta};
 use crate::wheel::TimerWheel;
 
+/// Cap on the number of events [`EventQueue`] pulls from the wheel in one
+/// run. Bounds the memmove cost when [`EventQueue::schedule_at`] splices
+/// an event into a partially drained run; buckets larger than this
+/// cascade level-by-level as before.
+const RUN_MAX: usize = 4096;
+
+/// How many pops ahead of the cursor [`EventQueue`] prefetches payload
+/// slab slots. A drained run fixes the pop order in advance, so the
+/// otherwise-random slab read can start `PREFETCH_DIST` events early —
+/// far enough to cover a DRAM miss at depth 1e6, near enough that the
+/// line is still resident when its pop arrives.
+const PREFETCH_DIST: usize = 8;
+
 /// An event together with its firing time and a tie-breaking sequence number.
 #[derive(Debug, Clone)]
 pub struct Scheduled<E> {
@@ -69,12 +82,31 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    wheel: TimerWheel<E>,
-    /// The earliest bucket, extracted from the wheel and held in
-    /// *descending* seq order so [`Self::pop`] is a move off the end.
-    /// Same-time events scheduled while the bucket drains re-enter the
-    /// wheel (their seqs are larger, so they correctly pop afterwards).
-    batch: Vec<Scheduled<E>>,
+    /// The wheel carries compact `(at, seq, slab index)` tokens, not
+    /// payloads. A pending event's payload is written to [`Self::pool`]
+    /// once at schedule time and read once at pop time; every cascade,
+    /// sort, and batch copy in between moves 24 bytes instead of a full
+    /// `Scheduled<E>` — at depth 1e6 the queue is memory-bound, and the
+    /// payload traffic, not the bucket arithmetic, is the cliff.
+    wheel: TimerWheel<u32>,
+    /// The earliest *run* of tokens — one or more whole wheel buckets,
+    /// possibly spanning distinct firing times — in ascending `(at, seq)`
+    /// order exactly as [`TimerWheel::pop_run`] produced it. Served
+    /// front-to-back through [`Self::batch_pos`] so a refill never
+    /// reverses or moves the run. Events scheduled before the run's last
+    /// time while it drains are spliced into position
+    /// ([`Self::schedule_at`]); everything else goes to the wheel, which
+    /// therefore always fires at or after the run's last event.
+    batch: Vec<Scheduled<u32>>,
+    /// Index of the next unserved token in [`Self::batch`].
+    batch_pos: usize,
+    /// Payload slab, indexed by the token carried through the wheel.
+    pool: Vec<Option<E>>,
+    /// Free slab slots, reused LIFO so recently vacated (cache-warm)
+    /// slots are refilled first.
+    free: Vec<u32>,
+    /// Scratch for same-tick wheel drains in [`Self::pop_batch`].
+    tick_buf: Vec<Scheduled<u32>>,
     now: Time,
     seq: u64,
     processed: u64,
@@ -94,11 +126,62 @@ impl<E> EventQueue<E> {
         Self {
             wheel: TimerWheel::new(),
             batch: Vec::new(),
+            batch_pos: 0,
+            pool: Vec::new(),
+            free: Vec::new(),
+            tick_buf: Vec::new(),
             now: 0,
             seq: 0,
             processed: 0,
             trace: TraceSink::default(),
             dispatched: None,
+        }
+    }
+
+    /// Parks `event` in the slab and returns its token.
+    fn park(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.pool[i as usize] = Some(event);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.pool.len()).expect("more than u32::MAX pending events");
+                self.pool.push(Some(event));
+                i
+            }
+        }
+    }
+
+    /// Hints the CPU to pull the slab slot of the token `dist` pops ahead
+    /// (index `batch_pos + dist`) into cache.
+    #[inline]
+    fn prefetch_ahead(&self, dist: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(s) = self.batch.get(self.batch_pos + dist) {
+            if let Some(slot) = self.pool.get(s.event as usize) {
+                // SAFETY: prefetch is a pure cache hint on a valid
+                // reference; it neither reads nor writes the value.
+                unsafe {
+                    core::arch::x86_64::_mm_prefetch(
+                        slot as *const Option<E> as *const i8,
+                        core::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reclaims a popped token's payload and frees its slab slot.
+    fn unpark(&mut self, s: Scheduled<u32>) -> Scheduled<E> {
+        let event = self.pool[s.event as usize]
+            .take()
+            .expect("token points at a live slab slot");
+        self.free.push(s.event);
+        Scheduled {
+            at: s.at,
+            seq: s.seq,
+            event,
         }
     }
 
@@ -124,12 +207,25 @@ impl<E> EventQueue<E> {
 
     /// The number of events still pending.
     pub fn pending(&self) -> usize {
-        self.wheel.len() + self.batch.len()
+        self.wheel.len() + self.batch.len() - self.batch_pos
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.batch.is_empty() && self.wheel.is_empty()
+        self.batch_pos == self.batch.len() && self.wheel.is_empty()
+    }
+
+    /// Refills the run buffer from the wheel when it is fully served.
+    #[inline]
+    fn refill(&mut self) {
+        if self.batch_pos == self.batch.len() {
+            self.batch.clear();
+            self.batch_pos = 0;
+            self.wheel.pop_run(&mut self.batch, RUN_MAX);
+            for d in 0..PREFETCH_DIST {
+                self.prefetch_ahead(d);
+            }
+        }
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -140,6 +236,18 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
+        let event = self.park(event);
+        if self.batch.last().is_some_and(|max| at < max.at) && self.batch_pos < self.batch.len() {
+            // The event lands inside the drained run, where the wheel can
+            // no longer order it: splice it into position among the
+            // unserved tokens. Runs are capped at `RUN_MAX`, so the
+            // memmove stays small, and deltas shorter than the run span
+            // are rare in practice.
+            let pos = self.batch_pos
+                + self.batch[self.batch_pos..].partition_point(|s| (s.at, s.seq) < (at, seq));
+            self.batch.insert(pos, Scheduled { at, seq, event });
+            return;
+        }
         if self.wheel.is_empty() {
             // Nothing bounds the cursor: pull it up to the clock so a
             // long-idle queue files near-future events O(1) again.
@@ -159,18 +267,17 @@ impl<E> EventQueue<E> {
     /// [`Self::advance_to`], the event still pops (in order) and the clock
     /// simply does not move backwards.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        if self.batch.is_empty() {
-            self.wheel.pop_batch(&mut self.batch);
-            self.batch.reverse();
-        }
-        let s = self.batch.pop()?;
+        self.refill();
+        self.prefetch_ahead(PREFETCH_DIST);
+        let s = self.batch.get(self.batch_pos)?.clone();
+        self.batch_pos += 1;
         self.now = self.now.max(s.at);
         self.processed += 1;
         self.trace.set_now(self.now);
         if let Some(c) = &self.dispatched {
             c.inc();
         }
-        Some(s)
+        Some(self.unpark(s))
     }
 
     /// Drains every pending event sharing the earliest firing time into
@@ -179,20 +286,46 @@ impl<E> EventQueue<E> {
     /// Advances the clock exactly as the equivalent [`Self::pop`] loop
     /// would and returns the number of events drained.
     pub fn pop_batch(&mut self, out: &mut Vec<Scheduled<E>>) -> usize {
-        let n = if self.batch.is_empty() {
-            self.wheel.pop_batch(out)
-        } else {
-            let n = self.batch.len();
-            out.extend(self.batch.drain(..).rev());
-            // Same-tick events scheduled during a partial pop of this
-            // bucket re-entered the wheel with larger seqs; they are
-            // still part of "the earliest tick", so drain them too.
-            let extra = if self.wheel.min_time() == out.last().map(|s| s.at) {
-                self.wheel.pop_batch(out)
-            } else {
-                0
-            };
-            n + extra
+        self.refill();
+        let n = match self.batch.get(self.batch_pos) {
+            None => 0,
+            Some(first) => {
+                // The earliest tick is the equal-time group at the front
+                // of the unserved run.
+                let t = first.at;
+                let end = self.batch[self.batch_pos..]
+                    .iter()
+                    .position(|s| s.at != t)
+                    .map_or(self.batch.len(), |i| self.batch_pos + i);
+                for i in self.batch_pos..end {
+                    let s = self.batch[i].clone();
+                    let e = self.unpark(s);
+                    out.push(e);
+                }
+                let n = end - self.batch_pos;
+                self.batch_pos = end;
+                // Same-tick events scheduled during a partial pop of this
+                // tick re-entered the wheel with larger seqs only when the
+                // tick was the run's last time (earlier ones are spliced
+                // into `batch`); they are still part of "the earliest
+                // tick", so drain them too.
+                let extra =
+                    if self.batch_pos == self.batch.len() && self.wheel.min_time() == Some(t) {
+                        let mut tick = std::mem::take(&mut self.tick_buf);
+                        tick.clear();
+                        self.wheel.pop_batch(&mut tick);
+                        let extra = tick.len();
+                        for s in tick.drain(..) {
+                            let e = self.unpark(s);
+                            out.push(e);
+                        }
+                        self.tick_buf = tick;
+                        extra
+                    } else {
+                        0
+                    };
+                n + extra
+            }
         };
         if n > 0 {
             let at = out.last().expect("n > 0").at;
@@ -217,7 +350,7 @@ impl<E> EventQueue<E> {
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Time> {
         self.batch
-            .last()
+            .get(self.batch_pos)
             .map(|s| s.at)
             .or_else(|| self.wheel.min_time())
     }

@@ -16,6 +16,7 @@
 pub mod event;
 pub mod fifo;
 pub mod parallel;
+pub mod pdes;
 pub mod rate;
 pub mod report;
 pub mod rng;
@@ -27,6 +28,7 @@ pub mod wheel;
 pub use event::{EventQueue, ReferenceEventQueue, Scheduled};
 pub use fifo::Fifo;
 pub use parallel::{default_workers, parallel_map};
+pub use pdes::{DispatchRecord, Outbox, Partition, PartitionId, PdesEngine, PdesReport};
 pub use rate::{Bandwidth, LinkSerializer, Pacer};
 pub use rng::SimRng;
 pub use stats::{LatencySummary, Samples};

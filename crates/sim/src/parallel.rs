@@ -8,17 +8,36 @@
 //! are returned in input order, so a parallel sweep's output is
 //! bit-identical to running the same closure in a sequential loop.
 
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// A fixed-size array of slots owned one-per-index by whichever worker
+/// claimed that index from the dispenser.
+///
+/// The dispenser's `fetch_add` hands every index to exactly one worker,
+/// so slot access is exclusive by construction — no per-slot lock needed.
+/// Contents are `MaybeUninit`: dropping the container never drops slot
+/// contents, which makes a mid-sweep panic leak (never double-drop) the
+/// unclaimed items and finished results.
+struct Slots<T>(Vec<UnsafeCell<MaybeUninit<T>>>);
+
+// SAFETY: distinct indices refer to disjoint slots, and the atomic
+// dispenser gives each index to exactly one worker; the scope join
+// orders all worker writes before the caller's reads.
+unsafe impl<T: Send> Sync for Slots<T> {}
 
 /// Maps `f` over `items` on up to `max_workers` scoped threads,
 /// returning results in input order.
 ///
 /// The closure must be self-contained per item (the usual shape: build a
 /// simulation from a seed, run it, return its report). Work is handed
-/// out through an atomic counter, so thread count and scheduling affect
-/// only wall-clock time. A panic in any worker propagates to the caller
-/// once the scope joins.
+/// out as index chunks from one atomic counter, and each worker writes
+/// results straight into the pre-sized slot for its index, so thread
+/// count and scheduling affect only wall-clock time — there is no lock
+/// to contend on and no allocation in the handout path. A panic in any
+/// worker propagates to the caller once the scope joins (leaking, not
+/// dropping, the unfinished slots).
 ///
 /// With one worker (or one item) this degenerates to a plain sequential
 /// loop on the calling thread — handy for determinism A/B tests.
@@ -28,37 +47,56 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = max_workers.max(1).min(items.len());
+    let n = items.len();
+    let workers = max_workers.max(1).min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    // Chunked handout: one `fetch_add` claims `chunk` consecutive items.
+    // Small enough to keep workers balanced on heavy-tailed sims, large
+    // enough that many-item sweeps are not serialized on the counter.
+    let chunk = (n / (workers * 8)).max(1);
+    let items = Slots(
+        items
+            .into_iter()
+            .map(|t| UnsafeCell::new(MaybeUninit::new(t)))
+            .collect(),
+    );
+    let results: Slots<R> = Slots(
+        (0..n)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+    );
     let next = AtomicUsize::new(0);
+    // Capture whole-struct references: closure field capture would
+    // otherwise borrow the inner `Vec` directly, past the `Sync` wrapper.
+    let (items_ref, results_ref, next_ref, f_ref) = (&items, &results, &next, &f);
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
+            scope.spawn(move || loop {
+                let start = next_ref.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let item = items[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("each item is claimed once");
-                let result = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
+                for i in start..(start + chunk).min(n) {
+                    // SAFETY: the dispenser hands index `i` to this worker
+                    // alone; the item slot was initialized from `items`
+                    // and is read (moved out) exactly once.
+                    let item = unsafe { (*items_ref.0[i].get()).assume_init_read() };
+                    let result = f_ref(item);
+                    // SAFETY: same exclusivity; the result slot is written
+                    // exactly once and read only after the scope joins.
+                    unsafe { (*results_ref.0[i].get()).write(result) };
+                }
             });
         }
     });
     results
+        .0
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every worker stored its result")
-        })
+        // SAFETY: the scope joined without panicking, so every index was
+        // claimed and its result slot written.
+        .map(|slot| unsafe { slot.into_inner().assume_init() })
         .collect()
 }
 
@@ -95,6 +133,23 @@ mod tests {
         let sequential: Vec<u64> = seeds.iter().map(|&s| work(s)).collect();
         let parallel = parallel_map(seeds, 6, work);
         assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn chunked_handout_covers_every_item_exactly_once() {
+        // Many more items than workers so the dispenser hands out
+        // multi-item chunks; every index must be mapped exactly once and
+        // land in its own slot.
+        let out = parallel_map((0..10_000u64).collect(), 4, |i| i + 1);
+        assert_eq!(out, (1..=10_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_copy_items_and_results_round_trip() {
+        let items: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        let expect: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        let out = parallel_map(items, 3, |s| format!("{s}!"));
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod metrics;
 pub mod report;
 pub mod trace;
 
-pub use counters::WireCounters;
+pub use counters::{PdesCounters, WireCounters};
 pub use metrics::{
     jain_index, Counter, Gauge, Histogram, HistogramHandle, MetricsRegistry, MetricsSnapshot,
 };

@@ -134,6 +134,18 @@ impl Opcode {
         )
     }
 
+    /// Whether this op-code is a READ response segment (the responder's
+    /// data-bearing return traffic, distinct from request packets).
+    pub fn is_read_response(self) -> bool {
+        matches!(
+            self,
+            Opcode::ReadResponseFirst
+                | Opcode::ReadResponseMiddle
+                | Opcode::ReadResponseLast
+                | Opcode::ReadResponseOnly
+        )
+    }
+
     /// Whether packets with this op-code carry payload.
     pub fn has_payload(self) -> bool {
         !matches!(
