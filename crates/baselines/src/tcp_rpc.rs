@@ -18,7 +18,14 @@
 
 use strom_kernels::layouts::{ht_layout, ELEMENT_SIZE};
 use strom_mem::HostMemory;
-use strom_sim::time::{TimeDelta, MICROS, NANOS};
+use strom_sim::time::{Time, TimeDelta, MICROS, NANOS};
+
+/// Per-request CPU occupancy of the server's RPC loop: recv syscall,
+/// demarshal, the lookup itself, marshal, send syscall. Unlike the wire
+/// round trip — which pipelines across concurrent requests — this
+/// *serializes* on the server core, so it is what saturates an
+/// open-loop TCP tier (~500 krps per core).
+pub const SERVER_CPU_OCCUPANCY: TimeDelta = 2 * MICROS;
 
 /// Timing constants of the TCP RPC path.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +113,39 @@ impl TcpRpcModel {
         }
         (Vec::new(), self.rpc_latency(1, 8))
     }
+
+    /// Open-loop serving latency of a TCP RPC tier: requests arriving at
+    /// `arrivals` (absolute times, non-decreasing) are routed
+    /// round-robin across `servers` single-core RPC loops, each a FIFO
+    /// queue with per-request occupancy [`SERVER_CPU_OCCUPANCY`] plus
+    /// `hops` dependent DRAM accesses. Returned latency for request *i*
+    /// is measured from its *arrival* — queueing delay included, exactly
+    /// as the StRoM tier's open-loop driver charges it — plus the
+    /// non-serializing wire round trip for `response_bytes`.
+    ///
+    /// This is the baseline's latency knee: once the arrival rate
+    /// exceeds `servers / occupancy` the departure frontier falls behind
+    /// and latency grows without bound, long before the wire saturates.
+    pub fn open_loop_latencies(
+        &self,
+        arrivals: &[Time],
+        hops: u64,
+        response_bytes: u64,
+        servers: usize,
+    ) -> Vec<TimeDelta> {
+        let servers = servers.max(1);
+        let occupancy = SERVER_CPU_OCCUPANCY + hops * self.mem_latency;
+        let mut depart = vec![0u64; servers];
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &at)| {
+                let d = &mut depart[i % servers];
+                *d = (*d).max(at) + occupancy;
+                *d - at + self.rpc_latency(0, response_bytes)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +198,26 @@ mod tests {
         let large = model.rpc_latency(2, 4096);
         let delta_us = (large - small) as f64 / MICROS as f64;
         assert!((25.0..40.0).contains(&delta_us), "delta = {delta_us} µs");
+    }
+
+    #[test]
+    fn open_loop_latency_is_flat_below_the_knee_and_unbounded_above() {
+        let model = TcpRpcModel::new();
+        // Light load: gaps 5x the occupancy — no queueing, latency sits
+        // at wire + one service time for every request.
+        let light: Vec<Time> = (0..64).map(|i| i * 5 * SERVER_CPU_OCCUPANCY).collect();
+        let lat = model.open_loop_latencies(&light, 2, 64, 1);
+        let floor = model.rpc_latency(0, 64) + SERVER_CPU_OCCUPANCY + 2 * model.mem_latency;
+        assert!(lat.iter().all(|&l| l == floor), "queueing below the knee");
+        // Overload: arrivals 2x faster than the server drains — the
+        // backlog (and so the tail) must grow linearly with position.
+        let heavy: Vec<Time> = (0..64).map(|i| i * SERVER_CPU_OCCUPANCY / 2).collect();
+        let lat = model.open_loop_latencies(&heavy, 2, 64, 1);
+        assert!(lat[63] > lat[1] + 30 * SERVER_CPU_OCCUPANCY);
+        // A second core doubles the sustainable rate: the same arrivals
+        // on two servers queue half as deep.
+        let lat2 = model.open_loop_latencies(&heavy, 2, 64, 2);
+        assert!(lat2[63] < lat[63] / 2 + model.base_rtt);
     }
 
     #[test]

@@ -20,6 +20,9 @@ use bytes::Bytes;
 use strom_bench::experiments::incast::{
     self, SENDER_COUNTS as INCAST_SENDERS, TUNED_WINDOW as INCAST_WINDOW,
 };
+use strom_bench::experiments::kv_serve::{
+    self, OVERLOAD_GAP_NS as KV_OVERLOAD_GAP, TUNED_GAP_NS as KV_TUNED_GAP,
+};
 use strom_bench::experiments::shuffle_scale::{
     cc_spec, spec as shuffle_spec, LOSS_RATE, NODE_COUNTS,
 };
@@ -27,6 +30,7 @@ use strom_bench::micro::{bb, bench};
 use strom_bench::Scale;
 use strom_nic::cluster_incast::run_incast;
 use strom_nic::cluster_shuffle::run_shuffle;
+use strom_nic::kv_serve::run_kv_serve;
 use strom_nic::{
     chaos_model, run_pdes_cluster, run_pdes_cluster_reference, NicConfig, PdesClusterParams,
     Testbed, WorkRequest,
@@ -423,6 +427,58 @@ fn main() {
         "incast_fairness", fair_on.jain, fair_off.jain
     );
 
+    println!("== KV serving tier (open-loop Poisson, 2 servers x 2 clients) ==");
+    let kv_chaos_spec = {
+        let mut s = kv_serve::spec(KV_TUNED_GAP, scale);
+        s.fault = Some(chaos_model(s.seed ^ 0xC405));
+        s
+    };
+    let kv_runs = parallel_map(
+        vec![
+            kv_serve::spec(KV_TUNED_GAP, scale),
+            kv_serve::spec(KV_OVERLOAD_GAP, scale),
+            kv_chaos_spec,
+        ],
+        strom_sim::default_workers(),
+        |s| run_kv_serve(&s),
+    );
+    let (kv_tuned, kv_over, kv_chaos) = (&kv_runs[0], &kv_runs[1], &kv_runs[2]);
+    for (name, out) in [
+        ("kv_tuned", kv_tuned),
+        ("kv_overload", kv_over),
+        ("kv_chaos", kv_chaos),
+    ] {
+        println!(
+            "{:<40} offered {:>6} krps, achieved {:>6} krps, p999 {:>9.1} us, retx {}",
+            name,
+            out.offered_rps / 1000,
+            out.achieved_rps / 1000,
+            ps_us(out.p999_ps),
+            out.retransmissions,
+        );
+    }
+    let kv_violations: u64 = kv_runs.iter().map(kv_serve::audit_violations).sum();
+    // The serving-tier acceptance bars: every run's end-to-end audit is
+    // clean (payloads verified, PUTs exactly-once, no QP deaths — even
+    // under the chaos fault model, which must actually bite), the tuned
+    // point's p999 holds an SLO ceiling, and the overload point proves
+    // the knee sits above a throughput floor.
+    assert_eq!(kv_violations, 0, "KV audit violations: {kv_runs:#?}");
+    assert!(
+        kv_chaos.retransmissions > 0,
+        "KV chaos run saw no retransmissions"
+    );
+    assert!(
+        kv_tuned.p999_ps.unwrap_or(u64::MAX) < 150 * strom_sim::time::MICROS,
+        "KV tuned p999 broke the SLO ceiling: {:?} ps",
+        kv_tuned.p999_ps
+    );
+    assert!(
+        kv_over.achieved_rps >= 400_000,
+        "KV knee throughput floor broken: {} rps",
+        kv_over.achieved_rps
+    );
+
     println!("== conservative-window PDES cluster (N = 8) ==");
     let pdes_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     // A longer (cross-rack scale) cable than the testbed default: the
@@ -571,6 +627,19 @@ fn main() {
   "incast_qp_errors": {incast_qp_errors},
   "jain_index": {jain_on:.4},
   "jain_index_no_cc": {jain_off:.4},
+  "kv_tuned_gap_ns": {KV_TUNED_GAP},
+  "kv_overload_gap_ns": {KV_OVERLOAD_GAP},
+  "kv_tuned_offered_krps": {kv_tuned_offered},
+  "kv_tuned_achieved_krps": {kv_tuned_achieved},
+  "kv_tuned_p50_us": {kv_tuned_p50:.3},
+  "kv_tuned_p99_us": {kv_tuned_p99:.3},
+  "kv_tuned_p999_us": {kv_tuned_p999:.3},
+  "kv_overload_offered_krps": {kv_over_offered},
+  "kv_overload_achieved_krps": {kv_over_achieved},
+  "kv_overload_p999_us": {kv_over_p999:.3},
+  "kv_chaos_p999_us": {kv_chaos_p999:.3},
+  "kv_chaos_retransmissions": {kv_chaos_retx},
+  "kv_audit_violations": {kv_violations},
   "write_p50_us": {:.3},
   "write_p99_us": {:.3},
   "write_p999_us": {:.3},
@@ -609,6 +678,16 @@ fn main() {
         inc8_goodput = inc8.goodput_gbps,
         jain_on = fair_on.jain,
         jain_off = fair_off.jain,
+        kv_tuned_offered = kv_tuned.offered_rps / 1000,
+        kv_tuned_achieved = kv_tuned.achieved_rps / 1000,
+        kv_tuned_p50 = ps_us(kv_tuned.p50_ps),
+        kv_tuned_p99 = ps_us(kv_tuned.p99_ps),
+        kv_tuned_p999 = ps_us(kv_tuned.p999_ps),
+        kv_over_offered = kv_over.offered_rps / 1000,
+        kv_over_achieved = kv_over.achieved_rps / 1000,
+        kv_over_p999 = ps_us(kv_over.p999_ps),
+        kv_chaos_p999 = ps_us(kv_chaos.p999_ps),
+        kv_chaos_retx = kv_chaos.retransmissions,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
     std::fs::write(path, &json).expect("write BENCH_wire.json");

@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod incast;
+pub mod kv_serve;
 pub mod sec7;
 pub mod shuffle_scale;
 pub mod tables;
@@ -183,6 +184,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "Incast N:1 under DCQCN: tail latency vs load, survival, fairness",
         ),
         (
+            "kv-serve",
+            "KV serving tier: open-loop latency knee, StRoM kernels vs TCP RPC",
+        ),
+        (
             "abl-bypass",
             "Ablation: DMA Descriptor Bypass on/off at 100G",
         ),
@@ -225,6 +230,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> String {
         "sec7" => sec7::run(scale).render(),
         "shuffle-scale" => shuffle_scale::run(scale),
         "incast" => incast::run(scale),
+        "kv-serve" => kv_serve::run(scale),
         "abl-bypass" => ablations::bypass(scale).render(),
         "abl-width" => ablations::width(scale).render(),
         "abl-timeout" => ablations::timeout(scale).render(),
@@ -252,6 +258,11 @@ pub fn run_experiment_telemetry(name: &str, scale: Scale) -> Option<(String, Tel
         // report carries the switch's per-port queue-depth high
         // watermarks and ECN mark counters.
         return Some(incast::run_with_telemetry(scale));
+    }
+    if name == "kv-serve" {
+        // The serving tier instruments its tuned operating point; its
+        // report carries the per-op latency histograms.
+        return Some(kv_serve::run_with_telemetry(scale));
     }
     let (mut tb, title) = match name {
         "fig5a" => (testbed_10g(), "Fig 5a (10G)"),

@@ -190,6 +190,9 @@ pub const ERR_NOT_FOUND: u16 = 1;
 pub const ERR_BAD_PARAMS: u16 = 2;
 /// Error code: consistency check failed permanently.
 pub const ERR_INCONSISTENT: u16 = 3;
+/// Error code: an insert found no free bucket and the kernel's arena is
+/// exhausted.
+pub const ERR_NO_SPACE: u16 = 4;
 
 #[cfg(test)]
 mod tests {

@@ -366,6 +366,25 @@ pub mod chained_layout {
     pub const NEXT_POS: u8 = 10;
     /// Buckets per entry.
     pub const BUCKETS: usize = 2;
+    /// Per-bucket version counter positions (4 B units): the spare tail
+    /// of the 64 B entry carries an 8 B version per bucket. Version 0 is
+    /// the preloaded state; every PUT bumps its bucket's version, so
+    /// concurrent PUTs are detectable and every committed update is
+    /// countable.
+    pub const VERSION_POS: [u8; 2] = [12, 14];
+
+    /// Byte offset of bucket `b`'s key within the entry.
+    pub fn key_off(b: usize) -> usize {
+        usize::from(BUCKET_KEY_POS[b]) * 4
+    }
+    /// Byte offset of bucket `b`'s version within the entry.
+    pub fn version_off(b: usize) -> usize {
+        usize::from(VERSION_POS[b]) * 4
+    }
+    /// Byte offset of the next-entry pointer within the entry.
+    pub fn next_off() -> usize {
+        usize::from(NEXT_POS) * 4
+    }
 }
 
 /// A chained hash table: 2-bucket entries with overflow chains.
@@ -482,6 +501,172 @@ impl ChainedHashTable {
             next_element_ptr_valid: true,
             target_address,
         }
+    }
+}
+
+/// The deterministic payload of `key` at `version` — version 0 is the
+/// preloaded [`value_pattern`], so a never-updated key verifies with the
+/// plain pattern and every PUT rewrites the slot with the next version's
+/// pattern (end-to-end verifiable under concurrency).
+pub fn versioned_value_pattern(key: u64, version: u64, value_size: u32) -> Vec<u8> {
+    if version == 0 {
+        value_pattern(key, value_size)
+    } else {
+        value_pattern(
+            key.wrapping_add(version.wrapping_mul(0xA24B_AED4_963E_E407)),
+            value_size,
+        )
+    }
+}
+
+/// A KV store region: a versioned chained hash table plus the spare
+/// arenas the on-NIC PUT kernel allocates inserts from.
+///
+/// Region plan (all inside one pinned range starting at
+/// `table.entries_base`):
+///
+/// ```text
+/// [primary entries][overflow entries: preloaded + spare]
+/// [value slots: preloaded + spare]
+/// ```
+///
+/// Every value slot is exactly `value_size` bytes; the builder reports
+/// the first free overflow entry and value slot so the host can hand the
+/// PUT kernel its allocation window.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    /// The chained hash table (preloaded keys at version 0).
+    pub table: ChainedHashTable,
+    /// First free overflow entry (the PUT kernel's entry arena cursor).
+    pub entry_arena_next: u64,
+    /// End of the overflow entry arena (exclusive).
+    pub entry_arena_end: u64,
+    /// First free value slot (the PUT kernel's value arena cursor).
+    pub value_arena_next: u64,
+    /// End of the value arena (exclusive).
+    pub value_arena_end: u64,
+}
+
+impl KvStore {
+    /// Total bytes the region plan occupies from the table base.
+    pub fn region_len(num_entries: u64, capacity_keys: u64, value_size: u32) -> u64 {
+        (num_entries + capacity_keys) * ELEMENT_SIZE + capacity_keys * u64::from(value_size)
+    }
+
+    /// The primary entry address a key hashes to.
+    pub fn entry_addr(&self, key: u64) -> u64 {
+        self.table.entry_addr(key)
+    }
+
+    /// Host-side chain walk: `(version, value_ptr)` of `key`, if present.
+    /// Used by the load generator to audit the kernels' effects.
+    pub fn lookup(&self, mem: &mut HostMemory, key: u64) -> Option<(u64, u64)> {
+        let mut entry = self.entry_addr(key);
+        while entry != 0 {
+            let buf = mem.read(entry, ELEMENT_SIZE as usize);
+            for b in 0..chained_layout::BUCKETS {
+                let off = chained_layout::key_off(b);
+                let k = u64::from_le_bytes(buf[off..off + 8].try_into().expect("sized"));
+                if k == key {
+                    let ptr = u64::from_le_bytes(buf[off + 8..off + 16].try_into().expect("sized"));
+                    let voff = chained_layout::version_off(b);
+                    let version =
+                        u64::from_le_bytes(buf[voff..voff + 8].try_into().expect("sized"));
+                    return Some((version, ptr));
+                }
+            }
+            let noff = chained_layout::next_off();
+            entry = u64::from_le_bytes(buf[noff..noff + 8].try_into().expect("sized"));
+        }
+        None
+    }
+}
+
+/// Builds a KV store at `base`: a chained hash table preloaded with
+/// `keys` (version 0), plus arena headroom for `spare_keys` future
+/// on-NIC inserts.
+///
+/// # Panics
+///
+/// Panics on duplicate or zero keys.
+pub fn build_kv_store(
+    mem: &mut HostMemory,
+    base: u64,
+    num_entries: u64,
+    keys: &[u64],
+    value_size: u32,
+    spare_keys: u64,
+) -> KvStore {
+    assert!(num_entries > 0, "hash table needs entries");
+    let capacity = keys.len() as u64 + spare_keys;
+    let overflow_base = base + num_entries * ELEMENT_SIZE;
+    let value_base = overflow_base + capacity * ELEMENT_SIZE;
+    let value_end = value_base + capacity * u64::from(value_size);
+    let mut table = ChainedHashTable {
+        entries_base: base,
+        num_entries,
+        value_size,
+        overflow_entries: 0,
+    };
+    let mut next_overflow = overflow_base;
+    let mut next_value = value_base;
+    for i in 0..num_entries {
+        mem.write(base + i * ELEMENT_SIZE, &[0u8; ELEMENT_SIZE as usize]);
+    }
+    for &key in keys {
+        assert_ne!(key, 0, "key 0 is the empty-bucket marker");
+        let value_addr = next_value;
+        next_value += u64::from(value_size);
+        mem.write(value_addr, &versioned_value_pattern(key, 0, value_size));
+        let mut entry = table.entry_addr(key);
+        loop {
+            let mut buf: Vec<u8> = mem.read(entry, ELEMENT_SIZE as usize);
+            let mut placed = false;
+            for b in 0..chained_layout::BUCKETS {
+                let off = chained_layout::key_off(b);
+                let existing = u64::from_le_bytes(buf[off..off + 8].try_into().expect("sized"));
+                assert_ne!(existing, key, "duplicate key {key:#x}");
+                if existing == 0 {
+                    buf[off..off + 8].copy_from_slice(&key.to_le_bytes());
+                    buf[off + 8..off + 16].copy_from_slice(&value_addr.to_le_bytes());
+                    buf[off + 16..off + 20].copy_from_slice(&value_size.to_le_bytes());
+                    // Version 0: zeroed slot already says so, written
+                    // explicitly for clarity.
+                    let voff = chained_layout::version_off(b);
+                    buf[voff..voff + 8].copy_from_slice(&0u64.to_le_bytes());
+                    placed = true;
+                    break;
+                }
+            }
+            if placed {
+                mem.write(entry, &buf);
+                break;
+            }
+            let noff = chained_layout::next_off();
+            let next = u64::from_le_bytes(buf[noff..noff + 8].try_into().expect("sized"));
+            if next != 0 {
+                entry = next;
+                continue;
+            }
+            let fresh = next_overflow;
+            assert!(
+                fresh + ELEMENT_SIZE <= value_base,
+                "overflow arena exhausted during preload"
+            );
+            next_overflow += ELEMENT_SIZE;
+            table.overflow_entries += 1;
+            mem.write(fresh, &[0u8; ELEMENT_SIZE as usize]);
+            buf[noff..noff + 8].copy_from_slice(&fresh.to_le_bytes());
+            mem.write(entry, &buf);
+            entry = fresh;
+        }
+    }
+    KvStore {
+        table,
+        entry_arena_next: next_overflow,
+        entry_arena_end: value_base,
+        value_arena_next: next_value,
+        value_arena_end: value_end,
     }
 }
 
@@ -648,6 +833,54 @@ mod tests {
             }
             assert!(found, "key {key} must be reachable through its chain");
         }
+    }
+
+    #[test]
+    fn kv_store_preloads_at_version_zero() {
+        let (mut m, base) = mem_with_region(HUGE_PAGE_SIZE);
+        let keys: Vec<u64> = (1..=50).collect();
+        let kv = build_kv_store(&mut m, base, 8, &keys, 32, 16);
+        assert!(kv.table.overflow_entries > 0, "8×2 slots force chains");
+        for &key in &keys {
+            let (version, ptr) = kv.lookup(&mut m, key).expect("preloaded");
+            assert_eq!(version, 0);
+            assert_eq!(m.read(ptr, 32), versioned_value_pattern(key, 0, 32));
+        }
+        assert_eq!(kv.lookup(&mut m, 999), None, "absent key");
+    }
+
+    #[test]
+    fn kv_store_region_plan_has_headroom() {
+        let (mut m, base) = mem_with_region(HUGE_PAGE_SIZE);
+        let keys: Vec<u64> = (1..=10).collect();
+        let kv = build_kv_store(&mut m, base, 16, &keys, 64, 6);
+        assert!(kv.entry_arena_next <= kv.entry_arena_end);
+        assert!(kv.value_arena_next < kv.value_arena_end);
+        assert_eq!(
+            kv.value_arena_end - base,
+            KvStore::region_len(16, 16, 64),
+            "region plan must match the static size helper"
+        );
+        // Preload consumed exactly keys.len() value slots.
+        assert_eq!(
+            kv.value_arena_end - kv.value_arena_next,
+            6 * 64,
+            "spare value slots remain for on-NIC inserts"
+        );
+    }
+
+    #[test]
+    fn versioned_pattern_distinguishes_versions() {
+        assert_eq!(
+            versioned_value_pattern(9, 0, 24),
+            value_pattern(9, 24),
+            "version 0 is the preload pattern"
+        );
+        assert_ne!(versioned_value_pattern(9, 1, 24), value_pattern(9, 24));
+        assert_ne!(
+            versioned_value_pattern(9, 1, 24),
+            versioned_value_pattern(9, 2, 24)
+        );
     }
 
     #[test]

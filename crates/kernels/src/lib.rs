@@ -39,6 +39,7 @@ pub mod hash;
 pub mod hll;
 pub mod hll_kernel;
 pub mod layouts;
+pub mod put;
 pub mod radix;
 pub mod shuffle;
 pub mod traversal;
@@ -50,5 +51,6 @@ pub use framework::{Kernel, KernelAction, KernelEvent};
 pub use get::{GetKernel, GetParams};
 pub use hll::HyperLogLog;
 pub use hll_kernel::HllKernel;
+pub use put::{PutConfig, PutKernel};
 pub use shuffle::{ShuffleKernel, ShuffleParams};
 pub use traversal::{Predicate, TraversalKernel, TraversalParams};

@@ -27,6 +27,7 @@ pub mod controller;
 pub mod event;
 pub mod fabric;
 pub mod fault;
+pub mod kv_serve;
 pub mod pdes_cluster;
 pub mod testbed;
 
@@ -35,8 +36,10 @@ pub use controller::{CommandWord, StatusRegisters};
 pub use event::{Event, NodeId};
 pub use fabric::KernelFabric;
 pub use fault::{LinkFaultModel, LossModel};
+pub use kv_serve::{run_kv_serve, run_kv_serve_instrumented, KvOutcome, KvSpec};
 pub use pdes_cluster::{
-    run_pdes_cluster, run_pdes_cluster_reference, ClusterPdesReport, PdesClusterParams,
+    run_pdes_cluster, run_pdes_cluster_reference, ClusterPdesReport, KvPdesWorkload,
+    PdesClusterParams,
 };
 pub use testbed::{ClusterTestbed, CpuFallback, LookaheadReport, SwitchParams, Testbed, WatchId};
 

@@ -21,6 +21,7 @@
 //! its send — the conservative-window premise, enforced at every send
 //! by the engine's [`Outbox`].
 
+use strom_sim::arrivals::ZipfSampler;
 use strom_sim::pdes::{Outbox, Partition, PartitionId, PdesEngine, PdesReport};
 use strom_sim::time::{Time, TimeDelta, NANOS};
 use strom_sim::{Bandwidth, LinkSerializer, SimRng};
@@ -51,6 +52,25 @@ pub struct PdesClusterParams {
     pub egress_backlog_cap: TimeDelta,
     /// Mean gap between a node's request generations.
     pub gen_gap: TimeDelta,
+    /// KV flavor: requests become Zipf-keyed GET/PUTs against per-node
+    /// version maps instead of echo round trips (`None` keeps the
+    /// original workload — and the original digests — unchanged).
+    pub kv: Option<KvPdesWorkload>,
+}
+
+/// The KV-flavored PDES workload: every key has a *home* partition
+/// (`key % nodes`) holding its version counter; a PUT bumps it, a GET
+/// reads it, and each observed `(key, version)` pair folds into the
+/// run digest — so the parallel engine must reproduce the *KV effect
+/// order* bit-exactly, not just the frame counts.
+#[derive(Debug, Clone)]
+pub struct KvPdesWorkload {
+    /// Key-space size.
+    pub keys: u64,
+    /// Zipf skew of key popularity (0 = uniform).
+    pub zipf_theta: f64,
+    /// Percent of requests that are PUTs.
+    pub put_pct: u8,
 }
 
 impl Default for PdesClusterParams {
@@ -65,6 +85,7 @@ impl Default for PdesClusterParams {
             switch_latency: 120 * NANOS,
             egress_backlog_cap: 40_000 * NANOS,
             gen_gap: 800 * NANOS,
+            kv: None,
         }
     }
 }
@@ -88,6 +109,26 @@ pub struct FrameMsg {
     pub payload: Vec<u8>,
     /// ICRC over the payload, checked at the receiver.
     pub crc: u32,
+}
+
+/// Writes the 17-byte KV op header over the front of a payload
+/// (resizing up if the random length came out shorter).
+fn encode_kv(payload: &mut Vec<u8>, put: bool, key: u64, version: u64) {
+    if payload.len() < 17 {
+        payload.resize(17, 0);
+    }
+    payload[0] = u8::from(put);
+    payload[1..9].copy_from_slice(&key.to_le_bytes());
+    payload[9..17].copy_from_slice(&version.to_le_bytes());
+}
+
+/// Reads the KV op header back: `(put, key, version)`.
+fn decode_kv(payload: &[u8]) -> (bool, u64, u64) {
+    (
+        payload[0] != 0,
+        u64::from_le_bytes(payload[1..9].try_into().expect("sized")),
+        u64::from_le_bytes(payload[9..17].try_into().expect("sized")),
+    )
 }
 
 /// Events exchanged between cluster partitions.
@@ -115,6 +156,13 @@ pub struct ClusterPart {
     pub rtt_sum: u64,
     /// This partition's counter block.
     pub counters: PdesCounters,
+    /// KV mode: the Zipf popularity sampler (node only).
+    zipf: Option<ZipfSampler>,
+    /// KV mode: version counter of every key homed here.
+    kv_versions: std::collections::BTreeMap<u64, u64>,
+    /// KV mode: FNV fold of every `(key, version)` this node observed —
+    /// locally applied or received in a response.
+    pub kv_digest: u64,
 }
 
 impl ClusterPart {
@@ -150,26 +198,76 @@ impl ClusterPart {
         out.send(switch, delay, ClusterEvent::Frame(msg));
     }
 
+    /// Applies one KV op to a key homed on this partition; returns the
+    /// version the op observed (PUT: the bumped one).
+    fn apply_kv(&mut self, put: bool, key: u64) -> u64 {
+        let v = self.kv_versions.entry(key).or_insert(0);
+        if put {
+            *v += 1;
+        }
+        *v
+    }
+
+    /// Folds an observed `(key, version)` pair into this node's digest.
+    fn fold_kv(&mut self, key: u64, version: u64) {
+        let mut h = self.kv_digest ^ 0xCBF2_9CE4_8422_2325;
+        for b in key.to_le_bytes().into_iter().chain(version.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.kv_digest = h;
+    }
+
     fn on_gen(&mut self, out: &mut Outbox<'_, ClusterEvent>) {
         if self.generated >= self.params.requests_per_node {
             return;
         }
         self.generated += 1;
-        let (payload, crc) = self.make_payload();
-        // Pick any peer but ourselves.
-        let mut dst = self.rng.below(self.params.nodes as u64 - 1) as usize;
-        if dst >= self.id {
-            dst += 1;
+        if let Some(wl) = self.params.kv.clone() {
+            // KV mode: Zipf-pick a key, route the op to its home node
+            // (applied locally when the key lives here).
+            let key = self
+                .zipf
+                .as_ref()
+                .expect("kv sampler")
+                .sample(&mut self.rng)
+                + 1;
+            let put = (self.rng.below(100) as u8) < wl.put_pct;
+            let home = (key % self.params.nodes as u64) as usize;
+            if home == self.id {
+                let v = self.apply_kv(put, key);
+                self.fold_kv(key, v);
+            } else {
+                let (mut payload, _) = self.make_payload();
+                encode_kv(&mut payload, put, key, 0);
+                let crc = icrc(&payload);
+                let msg = FrameMsg {
+                    src: self.id,
+                    dst: home,
+                    is_response: false,
+                    sent_at: out.now(),
+                    payload,
+                    crc,
+                };
+                self.send_frame(out, msg);
+            }
+        } else {
+            let (payload, crc) = self.make_payload();
+            // Pick any peer but ourselves.
+            let mut dst = self.rng.below(self.params.nodes as u64 - 1) as usize;
+            if dst >= self.id {
+                dst += 1;
+            }
+            let msg = FrameMsg {
+                src: self.id,
+                dst,
+                is_response: false,
+                sent_at: out.now(),
+                payload,
+                crc,
+            };
+            self.send_frame(out, msg);
         }
-        let msg = FrameMsg {
-            src: self.id,
-            dst,
-            is_response: false,
-            sent_at: out.now(),
-            payload,
-            crc,
-        };
-        self.send_frame(out, msg);
         if self.generated < self.params.requests_per_node {
             let gap = 1 + self.rng.below(2 * self.params.gen_gap);
             out.send(self.id, gap, ClusterEvent::Gen);
@@ -208,6 +306,29 @@ impl ClusterPart {
         if msg.is_response {
             self.counters.responses += 1;
             self.rtt_sum += out.now() - msg.sent_at;
+            if self.params.kv.is_some() {
+                let (_, key, version) = decode_kv(&msg.payload);
+                self.fold_kv(key, version);
+            }
+            return;
+        }
+        if self.params.kv.is_some() {
+            // KV request for a key homed here: apply, answer with the
+            // observed version.
+            let (put, key, _) = decode_kv(&msg.payload);
+            let version = self.apply_kv(put, key);
+            let (mut payload, _) = self.make_payload();
+            encode_kv(&mut payload, put, key, version);
+            let crc = icrc(&payload);
+            let reply = FrameMsg {
+                src: self.id,
+                dst: msg.src,
+                is_response: true,
+                sent_at: msg.sent_at,
+                payload,
+                crc,
+            };
+            self.send_frame(out, reply);
             return;
         }
         let (payload, crc) = self.make_payload();
@@ -263,6 +384,9 @@ pub struct ClusterPdesReport {
     pub total: PdesCounters,
     /// Sum of request→response RTTs across all nodes (picoseconds).
     pub rtt_sum: u64,
+    /// Fold of every `(key, version)` observation across all nodes
+    /// (0 when the KV workload is off).
+    pub kv_digest: u64,
     /// One combined digest over fingerprints and counters — the value
     /// the cross-engine equivalence tests and the golden file pin.
     pub digest: u64,
@@ -275,16 +399,22 @@ fn finish(pdes: PdesReport, parts: Vec<ClusterPart>) -> ClusterPdesReport {
         total.merge(c);
     }
     let rtt_sum = parts.iter().map(|p| p.rtt_sum).sum();
+    let mut kv_digest = 0u64;
+    for p in &parts {
+        kv_digest = (kv_digest ^ p.kv_digest).wrapping_mul(0x100_0000_01b3);
+    }
     let mut digest = pdes.fingerprint;
     for c in &partition_counters {
         digest = (digest ^ c.fingerprint()).wrapping_mul(0x100_0000_01b3);
     }
     digest ^= rtt_sum;
+    digest ^= kv_digest;
     ClusterPdesReport {
         pdes,
         partition_counters,
         total,
         rtt_sum,
+        kv_digest,
         digest,
     }
 }
@@ -309,6 +439,12 @@ pub fn build_pdes_cluster(params: &PdesClusterParams) -> PdesEngine<ClusterPart>
             generated: 0,
             rtt_sum: 0,
             counters: PdesCounters::default(),
+            zipf: params
+                .kv
+                .as_ref()
+                .map(|w| ZipfSampler::new(w.keys, w.zipf_theta)),
+            kv_versions: Default::default(),
+            kv_digest: 0,
         })
         .collect();
     PdesEngine::new(parts, params.propagation)
@@ -359,6 +495,56 @@ mod tests {
         assert_eq!(a.digest, c.digest);
         assert_eq!(a.partition_counters, c.partition_counters);
         assert_eq!(a.pdes.events, c.pdes.events);
+    }
+
+    #[test]
+    fn kv_workload_digest_agrees_across_engines() {
+        // The KV serving smoke: Zipf-keyed GET/PUTs against per-node
+        // version maps. The digest folds every observed (key, version)
+        // pair, so engine equality means the *order of KV effects* —
+        // not just message counts — is bit-identical in parallel.
+        let params = PdesClusterParams {
+            nodes: 5,
+            requests_per_node: 80,
+            kv: Some(KvPdesWorkload {
+                keys: 64,
+                zipf_theta: 0.99,
+                put_pct: 30,
+            }),
+            ..Default::default()
+        };
+        let reference = run_pdes_cluster_reference(&params);
+        let seq = run_pdes_cluster(&params, 1);
+        let par = run_pdes_cluster(&params, 4);
+        assert_ne!(reference.kv_digest, 0, "KV ops must have been applied");
+        assert_eq!(reference.digest, seq.digest);
+        assert_eq!(reference.digest, par.digest);
+        assert_eq!(reference.kv_digest, par.kv_digest);
+        assert_eq!(reference.partition_counters, par.partition_counters);
+    }
+
+    #[test]
+    fn kv_workload_changes_the_digest_but_not_the_default_path() {
+        // Golden-file safety: `kv: None` must keep producing the exact
+        // pre-KV schedule (same RNG draw order), while enabling KV
+        // explores a different one.
+        let base = PdesClusterParams {
+            nodes: 3,
+            requests_per_node: 40,
+            ..Default::default()
+        };
+        let kv = PdesClusterParams {
+            kv: Some(KvPdesWorkload {
+                keys: 32,
+                zipf_theta: 0.8,
+                put_pct: 50,
+            }),
+            ..base.clone()
+        };
+        let plain = run_pdes_cluster(&base, 2);
+        assert_eq!(plain.kv_digest, 0, "no KV ops on the default path");
+        let kvr = run_pdes_cluster(&kv, 2);
+        assert_ne!(plain.digest, kvr.digest);
     }
 
     #[test]

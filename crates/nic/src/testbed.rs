@@ -606,6 +606,13 @@ impl ClusterTestbed {
         self.queue.advance_to(t);
     }
 
+    /// Timestamp of the earliest pending event, if any. Open-loop
+    /// drivers use this to process everything due before an arrival
+    /// time, then [`Self::advance`] the clock to the arrival itself.
+    pub fn next_event_at(&self) -> Option<Time> {
+        self.queue.inner.peek_time()
+    }
+
     /// Mutable access to a node's host memory (the application's view).
     pub fn mem(&mut self, node: NodeId) -> &mut HostMemory {
         &mut self.nodes[node].mem

@@ -1,0 +1,347 @@
+//! Open-loop workload generators: Zipf-skewed key popularity and
+//! Poisson / MMPP arrival processes.
+//!
+//! A serving tier is characterized by *offered load*, not by how fast a
+//! fixed set of clients can spin: an **open-loop** generator draws
+//! request arrival times from a stochastic process that does not slow
+//! down when the server queues up, which is what exposes the latency
+//! knee (a closed-loop driver self-throttles and hides it). These
+//! generators model the aggregate arrival stream of a very large client
+//! fleet — the superposition of millions of thin clients is Poisson by
+//! the Palm–Khintchine theorem, and correlated bursts on top of it are
+//! the classic two-state Markov-modulated Poisson process (MMPP).
+//!
+//! Everything is driven by [`SimRng`], so a fixed seed pins the exact
+//! arrival schedule and key sequence bit-for-bit.
+
+use crate::rng::SimRng;
+use crate::time::{Time, TimeDelta};
+
+/// Samples ranks `0..n` with probability `P(k) ∝ 1/(k+1)^theta`
+/// (rank 0 is the hottest key). `theta = 0` degenerates to uniform;
+/// YCSB's default skew is `theta ≈ 0.99`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Normalized inclusive CDF over ranks; `cdf[n-1] == 1.0`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "theta must be a finite non-negative skew"
+        );
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Probability of rank `k`.
+    pub fn probability(&self, k: u64) -> f64 {
+        let k = k as usize;
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit();
+        // First rank whose CDF reaches u (binary search).
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx as u64).min(self.n() - 1)
+    }
+}
+
+/// An arrival process: how inter-arrival gaps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate: exponential gaps with the
+    /// given mean (picoseconds).
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: TimeDelta,
+    },
+    /// Two-state Markov-modulated Poisson process: a *calm* phase and a
+    /// *burst* phase, each Poisson at its own rate, with exponentially
+    /// distributed phase dwell times. Models correlated load bursts on
+    /// top of a steady fleet.
+    Mmpp {
+        /// Mean gap in the calm phase.
+        calm_gap: TimeDelta,
+        /// Mean gap in the burst phase (smaller = burstier).
+        burst_gap: TimeDelta,
+        /// Mean dwell time of the calm phase.
+        calm_dwell: TimeDelta,
+        /// Mean dwell time of the burst phase.
+        burst_dwell: TimeDelta,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean arrival rate in requests per second.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => 1e12 / mean_gap.max(1) as f64,
+            ArrivalProcess::Mmpp {
+                calm_gap,
+                burst_gap,
+                calm_dwell,
+                burst_dwell,
+            } => {
+                // Time-weighted average of the two phase rates.
+                let (dc, db) = (calm_dwell.max(1) as f64, burst_dwell.max(1) as f64);
+                let rate_c = 1e12 / calm_gap.max(1) as f64;
+                let rate_b = 1e12 / burst_gap.max(1) as f64;
+                (dc * rate_c + db * rate_b) / (dc + db)
+            }
+        }
+    }
+}
+
+/// Generates a monotone stream of absolute arrival times from an
+/// [`ArrivalProcess`]. Deterministic for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: SimRng,
+    now: Time,
+    /// MMPP phase state: `true` while in the burst phase.
+    in_burst: bool,
+    /// MMPP: when the current phase ends.
+    phase_ends: Time,
+}
+
+impl ArrivalGen {
+    /// Starts the process at time 0 with its own RNG stream.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        let mut rng = SimRng::seed(seed ^ 0xA11_0C0DE);
+        let phase_ends = match process {
+            ArrivalProcess::Poisson { .. } => Time::MAX,
+            ArrivalProcess::Mmpp { calm_dwell, .. } => exp_delta(&mut rng, calm_dwell),
+        };
+        ArrivalGen {
+            process,
+            rng,
+            now: 0,
+            in_burst: false,
+            phase_ends,
+        }
+    }
+
+    /// The next absolute arrival time (strictly increasing).
+    pub fn next_arrival(&mut self) -> Time {
+        loop {
+            let mean_gap = match self.process {
+                ArrivalProcess::Poisson { mean_gap } => mean_gap,
+                ArrivalProcess::Mmpp {
+                    calm_gap,
+                    burst_gap,
+                    ..
+                } => {
+                    if self.in_burst {
+                        burst_gap
+                    } else {
+                        calm_gap
+                    }
+                }
+            };
+            let candidate = self.now + exp_delta(&mut self.rng, mean_gap);
+            if candidate <= self.phase_ends {
+                self.now = candidate;
+                return candidate;
+            }
+            // Phase boundary crossed before the arrival: because the
+            // exponential is memoryless, discarding the partial gap and
+            // redrawing at the new rate from the boundary is exactly the
+            // MMPP dynamics.
+            let ArrivalProcess::Mmpp {
+                calm_dwell,
+                burst_dwell,
+                ..
+            } = self.process
+            else {
+                unreachable!("poisson phases never end");
+            };
+            self.now = self.phase_ends;
+            self.in_burst = !self.in_burst;
+            let dwell = if self.in_burst {
+                burst_dwell
+            } else {
+                calm_dwell
+            };
+            self.phase_ends = self.now + exp_delta(&mut self.rng, dwell);
+        }
+    }
+}
+
+/// An exponential gap with the given mean, quantized to ≥ 1 ps so the
+/// stream stays strictly increasing.
+fn exp_delta(rng: &mut SimRng, mean: TimeDelta) -> TimeDelta {
+    (rng.exponential(mean.max(1) as f64).round() as TimeDelta).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MICROS, NANOS};
+
+    #[test]
+    fn zipf_is_deterministic_at_a_fixed_seed() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let draw = |seed: u64| -> Vec<u64> {
+            let mut rng = SimRng::seed(seed);
+            (0..16).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(0x51), draw(0x51), "same seed must pin the stream");
+        assert_ne!(draw(0x51), draw(0x52), "different seeds must diverge");
+    }
+
+    #[test]
+    fn zipf_skew_matches_the_analytic_head_mass() {
+        let n = 1000u64;
+        let z = ZipfSampler::new(n, 0.99);
+        let mut rng = SimRng::seed(0x2157);
+        let draws = 200_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Head mass: empirical frequency of rank 0 vs the analytic
+        // probability, within 5% relative.
+        let p0 = z.probability(0);
+        let f0 = counts[0] as f64 / draws as f64;
+        assert!(
+            (f0 - p0).abs() / p0 < 0.05,
+            "rank-0 mass {f0} vs analytic {p0}"
+        );
+        // Mean rank within 2% of the analytic mean.
+        let analytic: f64 = (0..n).map(|k| k as f64 * z.probability(k)).sum();
+        let empirical = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as f64 * c as f64)
+            .sum::<f64>()
+            / draws as f64;
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.02,
+            "mean rank {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let n = 64u64;
+        let z = ZipfSampler::new(n, 0.0);
+        let mut rng = SimRng::seed(0x0FF);
+        let draws = 64_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let expect = draws as f64 / n as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() / expect < 0.15,
+                "rank {k}: {c} draws vs uniform {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_mean_and_cv_are_right() {
+        let mean = 3 * MICROS;
+        let mut g = ArrivalGen::new(ArrivalProcess::Poisson { mean_gap: mean }, 0x9015);
+        let draws = 100_000;
+        let mut prev = 0u64;
+        let mut gaps = Vec::with_capacity(draws);
+        for _ in 0..draws {
+            let t = g.next_arrival();
+            assert!(t > prev, "arrivals must be strictly increasing");
+            gaps.push((t - prev) as f64);
+            prev = t;
+        }
+        let m = gaps.iter().sum::<f64>() / draws as f64;
+        let var = gaps.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / draws as f64;
+        let cv = var.sqrt() / m;
+        assert!(
+            (m - mean as f64).abs() / (mean as f64) < 0.02,
+            "mean gap {m} vs {mean}"
+        );
+        assert!(
+            (cv - 1.0).abs() < 0.03,
+            "exponential gaps have CV 1, got {cv}"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson_and_rates_bracket() {
+        let process = ArrivalProcess::Mmpp {
+            calm_gap: 4 * MICROS,
+            burst_gap: 400 * NANOS,
+            calm_dwell: 200 * MICROS,
+            burst_dwell: 50 * MICROS,
+        };
+        let mut g = ArrivalGen::new(process, 0xB065);
+        let draws = 100_000;
+        let mut prev = 0u64;
+        let mut gaps = Vec::with_capacity(draws);
+        for _ in 0..draws {
+            let t = g.next_arrival();
+            assert!(t > prev);
+            gaps.push((t - prev) as f64);
+            prev = t;
+        }
+        let m = gaps.iter().sum::<f64>() / draws as f64;
+        let var = gaps.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / draws as f64;
+        let cv = var.sqrt() / m;
+        assert!(cv > 1.2, "MMPP gaps must be over-dispersed, CV = {cv}");
+        // Long-run rate sits between the two phase rates and near the
+        // dwell-weighted analytic value.
+        let rate = 1e12 / m;
+        let analytic = process.mean_rate_per_sec();
+        assert!(rate > 1e12 / (4.0 * MICROS as f64));
+        assert!(rate < 1e12 / (400.0 * NANOS as f64));
+        assert!(
+            (rate - analytic).abs() / analytic < 0.15,
+            "rate {rate}/s vs analytic {analytic}/s"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_at_a_fixed_seed() {
+        let process = ArrivalProcess::Mmpp {
+            calm_gap: 2 * MICROS,
+            burst_gap: 250 * NANOS,
+            calm_dwell: 100 * MICROS,
+            burst_dwell: 20 * MICROS,
+        };
+        let stream = |seed: u64| -> Vec<Time> {
+            let mut g = ArrivalGen::new(process, seed);
+            (0..64).map(|_| g.next_arrival()).collect()
+        };
+        assert_eq!(stream(7), stream(7));
+        assert_ne!(stream(7), stream(8));
+    }
+}

@@ -13,6 +13,7 @@
 //! produce identical event orders and identical statistics, which the
 //! property tests rely on.
 
+pub mod arrivals;
 pub mod event;
 pub mod fifo;
 pub mod parallel;
@@ -25,6 +26,7 @@ pub mod switch;
 pub mod time;
 pub mod wheel;
 
+pub use arrivals::{ArrivalGen, ArrivalProcess, ZipfSampler};
 pub use event::{EventQueue, ReferenceEventQueue, Scheduled};
 pub use fifo::Fifo;
 pub use parallel::{default_workers, parallel_map};

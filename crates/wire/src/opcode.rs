@@ -233,6 +233,9 @@ impl RpcOpCode {
     pub const FILTER: RpcOpCode = RpcOpCode(0x06);
     /// RPC op-code of the aggregation kernel (stream reduction, §1).
     pub const AGGREGATE: RpcOpCode = RpcOpCode(0x07);
+    /// RPC op-code of the KV PUT/INSERT kernel (versioned chained
+    /// hash-table updates over RDMA RPC WRITE).
+    pub const PUT: RpcOpCode = RpcOpCode(0x08);
 }
 
 #[cfg(test)]

@@ -388,6 +388,7 @@ fn run_chaos_kernels(seed: u64) {
                 entry_addr: ht.entry_addr(6),
                 key: 6,
                 target_address: target,
+                chained: false,
             }
             .encode(),
         },

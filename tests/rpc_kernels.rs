@@ -120,6 +120,7 @@ fn get_kernel_hash_table_lookup() {
                     entry_addr: ht.entry_addr(key),
                     key,
                     target_address: client_buf,
+                    chained: false,
                 }
                 .encode(),
             },

@@ -263,6 +263,7 @@ fn multi_kernel_deployment_dispatches_by_opcode() {
                 entry_addr: ht.entry_addr(6),
                 key: 6,
                 target_address: client_buf,
+                chained: false,
             }
             .encode(),
         },
