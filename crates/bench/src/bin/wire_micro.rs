@@ -14,12 +14,15 @@
 //! wire_micro --quick    # CI smoke: fewer soak seeds, same JSON shape
 //! ```
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use bytes::Bytes;
 use strom_bench::experiments::incast::{
     self, SENDER_COUNTS as INCAST_SENDERS, TUNED_WINDOW as INCAST_WINDOW,
 };
+use strom_bench::experiments::kernel_chain;
 use strom_bench::experiments::kv_serve::{
     self, OVERLOAD_GAP_NS as KV_OVERLOAD_GAP, TUNED_GAP_NS as KV_TUNED_GAP,
 };
@@ -28,12 +31,16 @@ use strom_bench::experiments::shuffle_scale::{
 };
 use strom_bench::micro::{bb, bench};
 use strom_bench::Scale;
+use strom_kernels::bloom::BloomFilter;
+use strom_kernels::hll::HyperLogLog;
+use strom_kernels::topk::{reference_topk, TopKKernel};
+use strom_kernels::traversal::Predicate;
 use strom_nic::cluster_incast::run_incast;
 use strom_nic::cluster_shuffle::run_shuffle;
 use strom_nic::kv_serve::run_kv_serve;
 use strom_nic::{
-    chaos_model, run_pdes_cluster, run_pdes_cluster_reference, NicConfig, PdesClusterParams,
-    Testbed, WorkRequest,
+    chaos_model, run_crcverify_shuffle, run_filter_agg_hll, run_pdes_cluster,
+    run_pdes_cluster_reference, NicConfig, PdesClusterParams, Testbed, WorkRequest,
 };
 use strom_sim::{parallel_map, EventQueue, ReferenceEventQueue, SimRng};
 use strom_telemetry::{Histogram, TraceEvent, TraceSink};
@@ -236,6 +243,221 @@ fn main() {
         strom_kernels::crc64::crc64(&data),
         strom_kernels::crc64::crc64_reference(&data)
     );
+
+    let simd_backend = strom_kernels::simd::backend().name();
+    println!("== SIMD kernel library ({simd_backend} backend), {CRC_BYTES} B per kernel ==");
+    let values: Vec<u64> = data
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("sized")))
+        .collect();
+    let val_bytes = (values.len() * 8) as u64;
+    let pivot = u64::MAX / 2;
+
+    // Bit-identity at every width: ragged lengths cover the empty case,
+    // the scalar tail, and the full vector body of each dispatched
+    // kernel, on this host's actual backend.
+    for &w in &[0usize, 1, 3, 7, 31, 64] {
+        let block = &values[..w];
+        let mut a = vec![0u64; w];
+        let mut b = vec![0u64; w];
+        strom_kernels::hash::mix64_batch(block, &mut a);
+        strom_kernels::hash::mix64_batch_reference(block, &mut b);
+        assert_eq!(a, b, "mix64 diverged at width {w}");
+        assert_eq!(
+            strom_kernels::filter::predicate_mask(block, Predicate::GreaterThan, pivot),
+            strom_kernels::filter::predicate_mask_reference(block, Predicate::GreaterThan, pivot),
+            "predicate_mask diverged at width {w}"
+        );
+        let mut ca = vec![0u64; 256];
+        let mut cb = vec![0u64; 256];
+        strom_kernels::radix::radix_histogram(block, 8, &mut ca);
+        strom_kernels::radix::radix_histogram_reference(block, 8, &mut cb);
+        assert_eq!(ca, cb, "radix_histogram diverged at width {w}");
+        assert_eq!(
+            strom_kernels::topk::gt_mask_le_bytes(&data[..w * 8], pivot),
+            strom_kernels::filter::predicate_mask_reference(block, Predicate::GreaterThan, pivot),
+            "gt_mask_le_bytes diverged at width {w}"
+        );
+    }
+    for &w in &[0usize, 1, 7, 8, 9, 1023, 1024, 1025, CRC_BYTES] {
+        assert_eq!(
+            strom_kernels::crc64::crc64_parallel(&data[..w]),
+            strom_kernels::crc64::crc64_reference(&data[..w]),
+            "crc64_parallel diverged at {w} B"
+        );
+    }
+
+    let k_crc64 = bench("kernel_crc64_simd", || {
+        bb(strom_kernels::crc64::crc64_parallel(&data))
+    });
+    let mut hout = vec![0u64; values.len()];
+    let k_hash = bench("kernel_hash_simd", || {
+        strom_kernels::hash::mix64_batch(&values, &mut hout);
+        bb(hout[values.len() - 1])
+    });
+    let k_hash_s = bench("kernel_hash_scalar", || {
+        strom_kernels::hash::mix64_batch_reference(&values, &mut hout);
+        bb(hout[values.len() - 1])
+    });
+    let k_hll = bench("kernel_hll_simd", || {
+        let mut h = HyperLogLog::standard();
+        h.add_u64_batch(&values);
+        bb(h.registers()[0])
+    });
+    let k_hll_s = bench("kernel_hll_scalar", || {
+        let mut h = HyperLogLog::standard();
+        for &v in &values {
+            h.add_u64(v);
+        }
+        bb(h.registers()[0])
+    });
+    let mut h_batch = HyperLogLog::standard();
+    h_batch.add_u64_batch(&values);
+    let mut h_scalar = HyperLogLog::standard();
+    for &v in &values {
+        h_scalar.add_u64(v);
+    }
+    assert_eq!(
+        h_batch.registers(),
+        h_scalar.registers(),
+        "HLL batch add diverged from the scalar sketch"
+    );
+    // Radix streams a larger buffer: the 4-sub-histogram setup is a
+    // fixed cost the partitioning of a real shuffle block amortizes.
+    let radix_values: Vec<u64> = {
+        let mut r = SimRng::seed(0x4a41);
+        (0..1 << 18).map(|_| r.next_u64()).collect()
+    };
+    let radix_bytes = (radix_values.len() * 8) as u64;
+    let mut counts = vec![0u64; 256];
+    let k_radix = bench("kernel_radix_simd", || {
+        counts.fill(0);
+        strom_kernels::radix::radix_histogram(&radix_values, 8, &mut counts);
+        bb(counts[0])
+    });
+    let k_radix_s = bench("kernel_radix_scalar", || {
+        counts.fill(0);
+        strom_kernels::radix::radix_histogram_reference(&radix_values, 8, &mut counts);
+        bb(counts[0])
+    });
+    let k_filter = bench("kernel_filter_simd", || {
+        let mut acc = 0u64;
+        for block in values.chunks(64) {
+            acc ^= strom_kernels::filter::predicate_mask(block, Predicate::GreaterThan, pivot);
+        }
+        bb(acc)
+    });
+    let k_filter_s = bench("kernel_filter_scalar", || {
+        let mut acc = 0u64;
+        for block in values.chunks(64) {
+            acc ^= strom_kernels::filter::predicate_mask_reference(
+                block,
+                Predicate::GreaterThan,
+                pivot,
+            );
+        }
+        bb(acc)
+    });
+    let mut bf = BloomFilter::new(16, 4);
+    for &v in values.iter().step_by(3) {
+        bf.insert(v);
+    }
+    for &w in &[0usize, 1, 3, 7, 31, 64] {
+        assert_eq!(
+            bf.contains_mask(&values[..w]),
+            bf.contains_mask_reference(&values[..w]),
+            "contains_mask diverged at width {w}"
+        );
+    }
+    let k_bloom = bench("kernel_bloom_simd", || {
+        let mut acc = 0u64;
+        for block in values.chunks(64) {
+            acc ^= bf.contains_mask(block);
+        }
+        bb(acc)
+    });
+    let k_bloom_s = bench("kernel_bloom_scalar", || {
+        let mut acc = 0u64;
+        for block in values.chunks(64) {
+            acc ^= bf.contains_mask_reference(block);
+        }
+        bb(acc)
+    });
+    const TOPK_K: usize = 64;
+    let k_topk = bench("kernel_topk_simd", || {
+        let mut k = TopKKernel::new();
+        k.ingest(TOPK_K, &data);
+        bb(k.seen())
+    });
+    let k_topk_s = bench("kernel_topk_scalar", || {
+        // The tuple-at-a-time baseline consumes the same wire bytes the
+        // kernel's ingest does.
+        let mut heap: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+        for c in data.chunks_exact(8) {
+            let v = u64::from_le_bytes(c.try_into().expect("sized"));
+            if heap.len() < TOPK_K {
+                heap.push(Reverse(v));
+            } else if v > heap.peek().expect("full").0 {
+                heap.pop();
+                heap.push(Reverse(v));
+            }
+        }
+        bb(heap.len())
+    });
+    let mut tk = TopKKernel::new();
+    tk.ingest(TOPK_K, &data);
+    assert_eq!(
+        tk.top(),
+        reference_topk(&values, TOPK_K),
+        "vectorized top-k diverged from the sort reference"
+    );
+    let needle = &data[1000..1008];
+    let k_scan = bench("kernel_scan_simd", || {
+        bb(strom_kernels::scan::substring_count(&data, needle))
+    });
+    let k_scan_s = bench("kernel_scan_scalar", || {
+        bb(strom_kernels::scan::substring_count_reference(
+            &data, needle,
+        ))
+    });
+    let scan_matches = strom_kernels::scan::substring_count(&data, needle);
+    assert_eq!(
+        scan_matches,
+        strom_kernels::scan::substring_count_reference(&data, needle),
+        "substring scan diverged from the naive reference"
+    );
+    assert!(scan_matches >= 1, "the needle was cut from the haystack");
+
+    let kernel_speedups = [
+        ("crc64", crc64_ref.ns_per_iter / k_crc64.ns_per_iter),
+        ("hash", k_hash_s.ns_per_iter / k_hash.ns_per_iter),
+        ("hll", k_hll_s.ns_per_iter / k_hll.ns_per_iter),
+        ("radix", k_radix_s.ns_per_iter / k_radix.ns_per_iter),
+        ("filter", k_filter_s.ns_per_iter / k_filter.ns_per_iter),
+        ("bloom", k_bloom_s.ns_per_iter / k_bloom.ns_per_iter),
+        ("topk", k_topk_s.ns_per_iter / k_topk.ns_per_iter),
+        ("scan", k_scan_s.ns_per_iter / k_scan.ns_per_iter),
+    ];
+    // SIMD must never lose to its scalar reference (0.9 absorbs timer
+    // noise), and on a multi-lane backend at least one kernel must
+    // actually cash the lanes in.
+    for (name, s) in &kernel_speedups {
+        assert!(
+            *s >= 0.9,
+            "SIMD {name} slower than its scalar reference: {s:.2}x"
+        );
+    }
+    let kernel_max_speedup = kernel_speedups
+        .iter()
+        .map(|&(_, s)| s)
+        .fold(0.0f64, f64::max);
+    if simd_backend != "scalar" {
+        assert!(
+            kernel_max_speedup >= 2.0,
+            "no kernel reached 2x over scalar on the {simd_backend} backend \
+             (max {kernel_max_speedup:.2}x)"
+        );
+    }
 
     println!("== frame encode/parse, 1440 B payload ==");
     let pkt = sample_packet(1440);
@@ -479,6 +701,38 @@ fn main() {
         kv_over.achieved_rps
     );
 
+    println!("== chained kernel pipelines (on-testbed, simulated time) ==");
+    let chain_tuples = kernel_chain::bench_tuples(scale);
+    // Each chain runs twice; a same-spec rerun must reproduce the
+    // identical ChainRun (fingerprint, elapsed time, retransmissions).
+    let chain_runs = parallel_map(vec![0u8, 1, 0, 1], strom_sim::default_workers(), |which| {
+        let s = kernel_chain::spec(chain_tuples);
+        if which == 0 {
+            run_filter_agg_hll(&s)
+        } else {
+            run_crcverify_shuffle(&s)
+        }
+    });
+    assert_eq!(
+        chain_runs[0], chain_runs[2],
+        "filter→agg→HLL rerun diverged"
+    );
+    assert_eq!(
+        chain_runs[1], chain_runs[3],
+        "CRC-verify→shuffle rerun diverged"
+    );
+    let (chain_fah, chain_cvs) = (&chain_runs[0], &chain_runs[1]);
+    for (name, run) in [
+        ("chain_filter_agg_hll", chain_fah),
+        ("chain_crcverify_shuffle", chain_cvs),
+    ] {
+        assert_eq!(run.error_code, None, "{name} surfaced an error sentinel");
+        println!(
+            "{name:<40} {:>9.3} GiB/s ({} B payload, retx {})",
+            run.gib_per_sec, run.payload_bytes, run.retransmissions,
+        );
+    }
+
     println!("== conservative-window PDES cluster (N = 8) ==");
     let pdes_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     // A longer (cross-rack scale) cable than the testbed default: the
@@ -554,6 +808,23 @@ fn main() {
     let crc64_speedup = crc64_ref.ns_per_iter / crc64_s8.ns_per_iter;
     let soak_speedup = soak_seq_ms / soak_par_ms;
     println!("icrc speedup: {icrc_speedup:.2}x, crc64 speedup: {crc64_speedup:.2}x, engine speedup: {sim_speedup:.2}x, soak speedup: {soak_speedup:.2}x");
+    let spd = |i: usize| kernel_speedups[i].1;
+    println!(
+        "kernel library ({simd_backend}): crc64 {:.2}x, hash {:.2}x, hll {:.2}x, radix {:.2}x, \
+         filter {:.2}x, bloom {:.2}x, topk {:.2}x, scan {:.2}x (max {kernel_max_speedup:.2}x)",
+        spd(0),
+        spd(1),
+        spd(2),
+        spd(3),
+        spd(4),
+        spd(5),
+        spd(6),
+        spd(7),
+    );
+    println!(
+        "chains ({chain_tuples} tuples): filter→agg→HLL {:.3} GiB/s, CRC-verify→shuffle {:.3} GiB/s",
+        chain_fah.gib_per_sec, chain_cvs.gib_per_sec
+    );
 
     let fmt_eps = |v: &[f64]| {
         v.iter()
@@ -581,6 +852,27 @@ fn main() {
   "crc64_reference_gib_s": {:.4},
   "crc64_slice16_gib_s": {:.4},
   "crc64_speedup": {crc64_speedup:.3},
+  "simd_backend": "{simd_backend}",
+  "kernel_crc64_gibps": {k_crc64_g:.4},
+  "kernel_crc64_scalar_gibps": {k_crc64_sg:.4},
+  "kernel_hash_gibps": {k_hash_g:.4},
+  "kernel_hash_scalar_gibps": {k_hash_sg:.4},
+  "kernel_hll_gibps": {k_hll_g:.4},
+  "kernel_hll_scalar_gibps": {k_hll_sg:.4},
+  "kernel_radix_gibps": {k_radix_g:.4},
+  "kernel_radix_scalar_gibps": {k_radix_sg:.4},
+  "kernel_filter_gibps": {k_filter_g:.4},
+  "kernel_filter_scalar_gibps": {k_filter_sg:.4},
+  "kernel_bloom_gibps": {k_bloom_g:.4},
+  "kernel_bloom_scalar_gibps": {k_bloom_sg:.4},
+  "kernel_topk_gibps": {k_topk_g:.4},
+  "kernel_topk_scalar_gibps": {k_topk_sg:.4},
+  "kernel_scan_gibps": {k_scan_g:.4},
+  "kernel_scan_scalar_gibps": {k_scan_sg:.4},
+  "kernel_max_speedup": {kernel_max_speedup:.3},
+  "chain_tuples": {chain_tuples},
+  "chain_filter_agg_hll_gibps": {chain_fah_g:.4},
+  "chain_crcverify_shuffle_gibps": {chain_cvs_g:.4},
   "encode_into_gib_s": {:.4},
   "parse_gib_s": {:.4},
   "trace_emit_disabled_ns": {:.2},
@@ -663,6 +955,24 @@ fn main() {
         q_us(&read_lat, 0.99),
         q_us(&read_lat, 0.999),
         mode = if quick { "quick" } else { "full" },
+        k_crc64_g = k_crc64.gib_per_sec(crc),
+        k_crc64_sg = crc64_ref.gib_per_sec(crc),
+        k_hash_g = k_hash.gib_per_sec(val_bytes),
+        k_hash_sg = k_hash_s.gib_per_sec(val_bytes),
+        k_hll_g = k_hll.gib_per_sec(val_bytes),
+        k_hll_sg = k_hll_s.gib_per_sec(val_bytes),
+        k_radix_g = k_radix.gib_per_sec(radix_bytes),
+        k_radix_sg = k_radix_s.gib_per_sec(radix_bytes),
+        k_filter_g = k_filter.gib_per_sec(val_bytes),
+        k_filter_sg = k_filter_s.gib_per_sec(val_bytes),
+        k_bloom_g = k_bloom.gib_per_sec(val_bytes),
+        k_bloom_sg = k_bloom_s.gib_per_sec(val_bytes),
+        k_topk_g = k_topk.gib_per_sec(val_bytes),
+        k_topk_sg = k_topk_s.gib_per_sec(val_bytes),
+        k_scan_g = k_scan.gib_per_sec(crc),
+        k_scan_sg = k_scan_s.gib_per_sec(crc),
+        chain_fah_g = chain_fah.gib_per_sec,
+        chain_cvs_g = chain_cvs.gib_per_sec,
         pdes_c2 = pdes_eps[1] / pdes_seq_eps,
         pdes_c4 = pdes_eps[2] / pdes_seq_eps,
         pdes_c8 = pdes_eps[3] / pdes_seq_eps,

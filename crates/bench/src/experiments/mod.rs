@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod incast;
+pub mod kernel_chain;
 pub mod kv_serve;
 pub mod sec7;
 pub mod shuffle_scale;
@@ -188,6 +189,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "KV serving tier: open-loop latency knee, StRoM kernels vs TCP RPC",
         ),
         (
+            "kernel-chain",
+            "Chained kernel pipelines: filter→agg→HLL and CRC-verify→shuffle throughput",
+        ),
+        (
             "abl-bypass",
             "Ablation: DMA Descriptor Bypass on/off at 100G",
         ),
@@ -231,6 +236,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> String {
         "shuffle-scale" => shuffle_scale::run(scale),
         "incast" => incast::run(scale),
         "kv-serve" => kv_serve::run(scale),
+        "kernel-chain" => kernel_chain::run(scale),
         "abl-bypass" => ablations::bypass(scale).render(),
         "abl-width" => ablations::width(scale).render(),
         "abl-timeout" => ablations::timeout(scale).render(),

@@ -18,7 +18,44 @@ use strom_wire::bth::Qpn;
 use strom_wire::opcode::RpcOpCode;
 
 use crate::framework::{Kernel, KernelAction, KernelEvent};
+use crate::simd::{mask_cmp, Cmp};
 use crate::traversal::Predicate;
+
+/// The lane comparison implementing a [`Predicate`].
+fn predicate_cmp(p: Predicate) -> Cmp {
+    match p {
+        Predicate::Equal => Cmp::Eq,
+        Predicate::NotEqual => Cmp::Ne,
+        Predicate::LessThan => Cmp::Lt,
+        Predicate::GreaterThan => Cmp::Gt,
+    }
+}
+
+/// Predicate scan over a block of up to 64 tuples: bit i of the result is
+/// set iff `values[i] <predicate> operand` — the vectorized form of the
+/// filter/bloom selection loops. Reference: [`predicate_mask_reference`].
+///
+/// # Panics
+///
+/// Panics if `values` holds more than 64 elements.
+pub fn predicate_mask(values: &[u64], predicate: Predicate, operand: u64) -> u64 {
+    mask_cmp(values, predicate_cmp(predicate), operand)
+}
+
+/// One-tuple-at-a-time reference for [`predicate_mask`], built on
+/// [`Predicate::matches`].
+///
+/// # Panics
+///
+/// Panics if `values` holds more than 64 elements.
+pub fn predicate_mask_reference(values: &[u64], predicate: Predicate, operand: u64) -> u64 {
+    assert!(values.len() <= 64, "one mask word covers 64 values");
+    let mut m = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        m |= u64::from(predicate.matches(v, operand)) << i;
+    }
+    m
+}
 
 /// Parameters of the filter kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,23 +187,33 @@ impl FilterKernel {
             input = &joined;
         }
         let whole = input.len() / 8 * 8;
-        for chunk in input[..whole].chunks_exact(8) {
-            let value = u64::from_le_bytes(chunk.try_into().expect("sized"));
-            self.seen += 1;
-            if !params.predicate.matches(value, params.operand) {
-                continue;
+        // Decode a block of tuples, evaluate the predicate as one vector
+        // scan, then stage the qualifying tuples in ascending order —
+        // bit-identical to the per-tuple loop (differential-tested via
+        // `predicate_mask_reference`).
+        let mut block = [0u64; 64];
+        for run in input[..whole].chunks(64 * 8) {
+            let n = run.len() / 8;
+            for (slot, chunk) in block[..n].iter_mut().zip(run.chunks_exact(8)) {
+                *slot = u64::from_le_bytes(chunk.try_into().expect("sized"));
             }
-            if (self.staged.len() + 8) as u32 > self.remaining {
-                self.overflowed += 1;
-                continue;
-            }
-            self.staged.extend_from_slice(chunk);
-            self.kept += 1;
-            if self.staged.len() >= FLUSH_BYTES {
-                let len = self.staged.len() as u64;
-                self.flush(out);
-                self.cursor += len;
-                self.remaining -= len as u32;
+            self.seen += n as u64;
+            let mut mask = predicate_mask(&block[..n], params.predicate, params.operand);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if (self.staged.len() + 8) as u32 > self.remaining {
+                    self.overflowed += 1;
+                    continue;
+                }
+                self.staged.extend_from_slice(&block[i].to_le_bytes());
+                self.kept += 1;
+                if self.staged.len() >= FLUSH_BYTES {
+                    let len = self.staged.len() as u64;
+                    self.flush(out);
+                    self.cursor += len;
+                    self.remaining -= len as u32;
+                }
             }
         }
         if whole < input.len() {
@@ -359,5 +406,26 @@ mod tests {
     fn data_before_configuration_is_ignored() {
         let mut k = FilterKernel::new();
         assert!(feed(&mut k, &[1, 2, 3], true).is_empty());
+    }
+
+    #[test]
+    fn predicate_mask_matches_reference_at_every_width() {
+        let values: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(0x9E37) % 50).collect();
+        for len in 0..=64usize {
+            for pred in [
+                Predicate::Equal,
+                Predicate::NotEqual,
+                Predicate::LessThan,
+                Predicate::GreaterThan,
+            ] {
+                for operand in [0u64, 25, 49, u64::MAX] {
+                    assert_eq!(
+                        predicate_mask(&values[..len], pred, operand),
+                        predicate_mask_reference(&values[..len], pred, operand),
+                        "len={len} pred={pred:?} operand={operand}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -29,6 +29,9 @@ pub struct HllKernel {
     spill: Vec<u8>,
     /// Total items observed.
     items: u64,
+    /// Configured end-of-stream snapshot target (chain stages): when set,
+    /// the snapshot is sent when the stream closes instead of at invoke.
+    pending_summary: Option<(strom_wire::bth::Qpn, u64)>,
 }
 
 impl Default for HllKernel {
@@ -49,6 +52,28 @@ impl HllKernel {
             sketch: HyperLogLog::new(p),
             spill: Vec::new(),
             items: 0,
+            pending_summary: None,
+        }
+    }
+
+    /// Encodes *streaming* parameters: configure the kernel to send its
+    /// snapshot to `target_address` when the inbound stream closes — the
+    /// mode a terminal HLL stage of a [`crate::framework::KernelChain`]
+    /// uses. Distinguished from [`HllParams`] (an immediate snapshot
+    /// query) by length and a flag word.
+    pub fn stream_params(target_address: u64) -> Bytes {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&target_address.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        Bytes::from(out)
+    }
+
+    /// Decodes [`Self::stream_params`]; `None` for plain [`HllParams`].
+    fn decode_stream_params(buf: &[u8]) -> Option<u64> {
+        if buf.len() >= 16 && buf[8..16] == 1u64.to_le_bytes() {
+            Some(u64::from_le_bytes(buf[0..8].try_into().expect("sized")))
+        } else {
+            None
         }
     }
 
@@ -77,9 +102,16 @@ impl HllKernel {
             input = &joined;
         }
         let whole = input.len() / 8 * 8;
-        for chunk in input[..whole].chunks_exact(8) {
-            self.sketch.add_item(chunk.try_into().expect("sized"));
-            self.items += 1;
+        // Decode a block of tuples, then hash it four lanes at a time —
+        // bit-identical to the per-item path (see hll differential tests).
+        let mut block = [0u64; 64];
+        for run in input[..whole].chunks(64 * 8) {
+            let n = run.len() / 8;
+            for (slot, chunk) in block[..n].iter_mut().zip(run.chunks_exact(8)) {
+                *slot = u64::from_le_bytes(chunk.try_into().expect("sized"));
+            }
+            self.sketch.add_u64_batch(&block[..n]);
+            self.items += n as u64;
         }
         if whole < input.len() {
             self.spill = input[whole..].to_vec();
@@ -149,13 +181,27 @@ impl Kernel for HllKernel {
             KernelEvent::RoceData { data, last, .. } => {
                 self.ingest(&data);
                 if last {
-                    vec![KernelAction::Done]
+                    let mut out = Vec::new();
+                    if let Some((qpn, target)) = self.pending_summary.take() {
+                        out.push(KernelAction::RoceSend {
+                            qpn,
+                            remote_vaddr: target,
+                            data: Bytes::copy_from_slice(&self.snapshot()),
+                        });
+                    }
+                    out.push(KernelAction::Done);
+                    out
                 } else {
                     Vec::new()
                 }
             }
-            // RPC: write the snapshot back to the requester.
+            // RPC: configure an end-of-stream snapshot (chain stage) or
+            // write the snapshot back to the requester immediately.
             KernelEvent::Invoke { qpn, params } => {
+                if let Some(target) = Self::decode_stream_params(&params) {
+                    self.pending_summary = Some((qpn, target));
+                    return vec![KernelAction::Done];
+                }
                 let Some(p) = HllParams::decode(&params) else {
                     return Vec::new();
                 };
@@ -278,6 +324,51 @@ mod tests {
         assert_eq!(est, 0.0);
         assert_eq!(n, 0);
         assert!(HllKernel::decode_snapshot(&[0u8; 8]).is_none());
+    }
+
+    #[test]
+    fn stream_params_snapshot_arrives_at_stream_end() {
+        let mut k = HllKernel::new();
+        let a = k.on_event(KernelEvent::Invoke {
+            qpn: 2,
+            params: HllKernel::stream_params(0x4000),
+        });
+        assert_eq!(a, vec![KernelAction::Done], "configuration completes");
+        assert!(k
+            .on_event(KernelEvent::RoceData {
+                qpn: 2,
+                data: Bytes::from(items(0..2000)),
+                last: false,
+            })
+            .is_empty());
+        let end = k.on_event(KernelEvent::RoceData {
+            qpn: 2,
+            data: Bytes::new(),
+            last: true,
+        });
+        match &end[0] {
+            KernelAction::RoceSend {
+                qpn,
+                remote_vaddr,
+                data,
+            } => {
+                assert_eq!((*qpn, *remote_vaddr), (2, 0x4000));
+                let (est, n) = HllKernel::decode_snapshot(data).unwrap();
+                assert_eq!(n, 2000);
+                assert!((est - 2000.0).abs() / 2000.0 < 0.05);
+            }
+            other => panic!("expected RoceSend, got {other:?}"),
+        }
+        assert_eq!(end[1], KernelAction::Done);
+        // The summary is one-shot: a second stream end is just Done.
+        assert_eq!(
+            k.on_event(KernelEvent::RoceData {
+                qpn: 2,
+                data: Bytes::new(),
+                last: true
+            }),
+            vec![KernelAction::Done]
+        );
     }
 
     #[test]

@@ -28,10 +28,21 @@
 //! Plus [`get`]: the pedagogical GET kernel of Listing 2, and the host-side
 //! data-structure [`layouts`] (linked lists, Pilaf-style hash tables,
 //! CRC-stamped object stores) the experiments operate on.
+//!
+//! Later additions widen the library toward §8's "chain of kernels"
+//! outlook: [`topk`], [`bloom`], and [`scan`] stream kernels, a
+//! [`crc_verify`] cut-through integrity stage, the
+//! [`framework::KernelChain`] combinator composing kernels into on-NIC
+//! pipelines ([`chains`] holds the canonical ones), and a portable
+//! [`simd`] layer that vectorizes the hot loops while keeping scalar
+//! references for differential testing.
 
 pub mod aggregate;
+pub mod bloom;
+pub mod chains;
 pub mod consistency;
 pub mod crc64;
+pub mod crc_verify;
 pub mod filter;
 pub mod framework;
 pub mod get;
@@ -41,16 +52,23 @@ pub mod hll_kernel;
 pub mod layouts;
 pub mod put;
 pub mod radix;
+pub mod scan;
 pub mod shuffle;
+pub mod simd;
+pub mod topk;
 pub mod traversal;
 
 pub use aggregate::{Aggregate, AggregateKernel, AggregateParams};
+pub use bloom::{BloomFilter, BloomKernel, BloomParams};
 pub use consistency::{ConsistencyKernel, ConsistencyParams};
+pub use crc_verify::{CrcVerifyKernel, CrcVerifyParams};
 pub use filter::{FilterKernel, FilterParams};
-pub use framework::{Kernel, KernelAction, KernelEvent};
+pub use framework::{ChainParams, Kernel, KernelAction, KernelChain, KernelEvent, StageRoute};
 pub use get::{GetKernel, GetParams};
 pub use hll::HyperLogLog;
 pub use hll_kernel::HllKernel;
 pub use put::{PutConfig, PutKernel};
+pub use scan::{ScanParams, SubstringScanKernel};
 pub use shuffle::{ShuffleKernel, ShuffleParams};
+pub use topk::{TopKKernel, TopKParams};
 pub use traversal::{Predicate, TraversalKernel, TraversalParams};

@@ -446,7 +446,7 @@ mod tests {
                     KernelAction::RoceSend {
                         remote_vaddr, data, ..
                     } => sends.push((remote_vaddr, data)),
-                    KernelAction::Done => {}
+                    KernelAction::Done | KernelAction::Forward { .. } => {}
                 }
             }
             if next.is_empty() {

@@ -42,6 +42,7 @@
 use strom_kernels::framework::{decode_error, ERR_NOT_FOUND};
 use strom_kernels::layouts::{build_kv_store, versioned_value_pattern, KvStore};
 use strom_kernels::put::{encode_put_request, PutConfig, PUT_HEADER_LEN};
+use strom_kernels::simd::bytes_equal;
 use strom_kernels::{GetKernel, GetParams, PutKernel, TraversalKernel};
 use strom_sim::arrivals::{ArrivalGen, ArrivalProcess, ZipfSampler};
 use strom_sim::time::Time;
@@ -531,7 +532,7 @@ pub fn run_kv_serve_instrumented(spec: &KvSpec) -> (KvOutcome, MetricsRegistry) 
                         let value = tb.mem(node).read(slot + 8, spec.value_size as usize);
                         let ok = r.op == KvOp::Get
                             && head <= fin
-                            && (head..=fin).any(|w| value == pattern_at(r.key, w));
+                            && (head..=fin).any(|w| bytes_equal(&value, &pattern_at(r.key, w)));
                         if !ok {
                             verify_failures += 1;
                         }
@@ -546,7 +547,7 @@ pub fn run_kv_serve_instrumented(spec: &KvSpec) -> (KvOutcome, MetricsRegistry) 
                 traversals += 1;
                 per_op[2].record(lat);
                 let value = tb.mem(node).read(slot, spec.value_size as usize);
-                let ok = (0..=fin).any(|w| value == pattern_at(r.key, w));
+                let ok = (0..=fin).any(|w| bytes_equal(&value, &pattern_at(r.key, w)));
                 if !ok {
                     verify_failures += 1;
                 }

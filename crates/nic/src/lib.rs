@@ -20,6 +20,7 @@
 //! PCIe, and line-rate constants documented in `NicConfig`.
 
 pub mod chaos;
+pub mod cluster_chain;
 pub mod cluster_incast;
 pub mod cluster_shuffle;
 pub mod config;
@@ -31,6 +32,7 @@ pub mod kv_serve;
 pub mod pdes_cluster;
 pub mod testbed;
 
+pub use cluster_chain::{run_crcverify_shuffle, run_filter_agg_hll, ChainRun, ChainSpec};
 pub use config::NicConfig;
 pub use controller::{CommandWord, StatusRegisters};
 pub use event::{Event, NodeId};

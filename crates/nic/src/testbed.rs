@@ -1540,6 +1540,13 @@ impl ClusterTestbed {
                         Err(e) => panic!("kernel RoceSend failed: {e}"),
                     }
                 }
+                KernelAction::Forward { .. } => {
+                    // A Forward leaving the *top-level* kernel has no next
+                    // stage: the data was already delivered to host memory
+                    // by the RPC WRITE path (bump-in-the-wire), so the
+                    // fabric drops it. Inside a KernelChain, Forward is
+                    // consumed by the chain itself and never reaches here.
+                }
                 KernelAction::Done => {
                     self.trace.emit(TraceEvent::KernelExit {
                         node: node as u8,
