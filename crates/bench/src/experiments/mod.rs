@@ -2,6 +2,7 @@
 
 pub mod abl_slow_kernel;
 pub mod ablations;
+pub mod corpus;
 pub mod fig10;
 pub mod fig11;
 pub mod fig13;
@@ -193,6 +194,10 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str)> {
             "Chained kernel pipelines: filter→agg→HLL and CRC-verify→shuffle throughput",
         ),
         (
+            "corpus",
+            "Workload corpus: every scenario at 10G+100G vs pinned fingerprints and perf gates",
+        ),
+        (
             "abl-bypass",
             "Ablation: DMA Descriptor Bypass on/off at 100G",
         ),
@@ -237,6 +242,7 @@ pub fn run_experiment(name: &str, scale: Scale) -> String {
         "incast" => incast::run(scale),
         "kv-serve" => kv_serve::run(scale),
         "kernel-chain" => kernel_chain::run(scale),
+        "corpus" => corpus::run(scale),
         "abl-bypass" => ablations::bypass(scale).render(),
         "abl-width" => ablations::width(scale).render(),
         "abl-timeout" => ablations::timeout(scale).render(),

@@ -10,10 +10,13 @@
 //! below the point where a 7-retry budget legitimately exhausts. Retry
 //! exhaustion has its own dedicated test with loss = 1.0.
 
+use strom_proto::{CompletionStatus, WorkRequest};
 use strom_sim::time::MICROS;
 use strom_sim::SimRng;
 
+use crate::config::Platform;
 use crate::fault::{LinkFaultModel, LossModel};
+use crate::testbed::ClusterTestbed;
 
 /// The fault dimensions a chaos schedule composes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +80,188 @@ pub fn active_fault_types(model: &LinkFaultModel) -> usize {
         + usize::from(model.duplicate_rate > 0.0)
 }
 
+/// Everything that determines one library-level chaos soak run: a
+/// seeded schedule of mixed READ/WRITE operations between two hosts
+/// under a composed [`chaos_model`] fault schedule, on either platform.
+///
+/// The heavyweight multi-seed soak lives in `tests/chaos_soak.rs`; this
+/// runner is the corpus-facing single-run flavor — it performs the same
+/// byte-for-byte verification against an in-memory reference and
+/// distills the run into a fingerprint plus perf observables.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Hardware platform (10 G or 100 G datapath).
+    pub platform: Platform,
+    /// Upper bound on the operation count (the seed draws 2..ops).
+    pub ops: u64,
+    /// Seed: picks the fault schedule, the op schedule, and the testbed
+    /// RNG, so a run reproduces exactly from this one value.
+    pub seed: u64,
+}
+
+/// What one chaos run observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// FNV-1a fold of both verified memory images and the recovery
+    /// counters — bit-identical across reruns of the same spec.
+    pub fingerprint: u64,
+    /// Operations driven.
+    pub ops: u64,
+    /// Payload bytes moved (sum of op lengths).
+    pub bytes_moved: u64,
+    /// First post to quiesce, picoseconds.
+    pub elapsed_ps: u64,
+    /// Retransmissions the faults forced.
+    pub retransmissions: u64,
+    /// Frames provably dropped by the ICRC after in-flight corruption.
+    pub crc_dropped: u64,
+    /// Frames lost by the fault model.
+    pub frames_lost: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Runs the chaos soak scenario and verifies every byte against the
+/// reference before returning the observables. Panics on any integrity
+/// violation — a corpus run must never report a fingerprint for a run
+/// that corrupted data.
+pub fn run_chaos(spec: &ChaosSpec) -> ChaosOutcome {
+    const CLIENT: usize = 0;
+    const SERVER: usize = 1;
+    const QP: u32 = 1;
+    const EVENT_BUDGET: u64 = 50_000_000;
+
+    let model = chaos_model(spec.seed);
+    let mut cfg = spec.platform.config();
+    cfg.seed = spec.seed;
+    let mut tb = ClusterTestbed::transparent_pair(cfg);
+    tb.connect_qp(QP);
+    tb.set_fault_model(model);
+    let a = tb.pin(CLIENT, 4 << 20);
+    let b = tb.pin(SERVER, 4 << 20);
+
+    // Seeded init images and op schedule (domain-separated streams).
+    let mut rng = SimRng::seed(spec.seed ^ 0x1234);
+    let mut client_init = vec![0u8; 2 << 20];
+    rng.fill_bytes(&mut client_init);
+    let mut server_init = vec![0u8; 2 << 20];
+    rng.fill_bytes(&mut server_init);
+    tb.mem(CLIENT).write(a, &client_init);
+    tb.mem(SERVER).write(b, &server_init);
+
+    let mut op_rng = SimRng::seed(spec.seed ^ 0x0b5);
+    let ops: Vec<(bool, u64, u32)> = (0..op_rng.range(2, spec.ops.max(3)))
+        .map(|_| {
+            let off = op_rng.below(1 << 20);
+            let len = op_rng.range(1, 20_000) as u32;
+            (op_rng.chance(0.5), off, len.min(((1 << 20) - 1) as u32))
+        })
+        .collect();
+
+    // Reference images: the same ops applied to plain byte arrays.
+    let mut want_remote = vec![0u8; 2 << 20];
+    let mut want_local = vec![0u8; 2 << 20];
+    for &(is_write, off, len) in &ops {
+        let (off, len) = (off as usize, len as usize);
+        if is_write {
+            want_remote[off..off + len].copy_from_slice(&client_init[off..off + len]);
+        } else {
+            want_local[off..off + len].copy_from_slice(&server_init[off..off + len]);
+        }
+    }
+
+    let t0 = tb.now();
+    let mut bytes_moved = 0u64;
+    for &(is_write, off, len) in &ops {
+        let h = if is_write {
+            tb.post(
+                CLIENT,
+                QP,
+                WorkRequest::Write {
+                    remote_vaddr: b + (2 << 20) + off,
+                    local_vaddr: a + off,
+                    len,
+                },
+            )
+        } else {
+            tb.post(
+                CLIENT,
+                QP,
+                WorkRequest::Read {
+                    remote_vaddr: b + off,
+                    local_vaddr: a + (2 << 20) + off,
+                    len,
+                },
+            )
+        };
+        bytes_moved += u64::from(len);
+        tb.run_until_complete(CLIENT, h);
+        assert_eq!(
+            tb.completion_status(CLIENT, h),
+            Some(CompletionStatus::Success),
+            "seed {}: chaos op failed under {model:?}",
+            spec.seed
+        );
+    }
+    assert!(
+        tb.run_until_idle_bounded(EVENT_BUDGET),
+        "seed {}: chaos run failed to quiesce under {model:?}",
+        spec.seed
+    );
+    let elapsed_ps = tb.now() - t0;
+
+    let remote_image = tb.mem(SERVER).read(b + (2 << 20), 2 << 20);
+    let local_image = tb.mem(CLIENT).read(a + (2 << 20), 2 << 20);
+    assert_eq!(
+        remote_image, want_remote,
+        "seed {}: remote memory diverged under {model:?}",
+        spec.seed
+    );
+    assert_eq!(
+        local_image, want_local,
+        "seed {}: read-back memory diverged under {model:?}",
+        spec.seed
+    );
+    assert!(!tb.qp_errored(CLIENT, QP), "seed {}", spec.seed);
+
+    let status = [tb.status(CLIENT), tb.status(SERVER)];
+    let retransmissions = tb.retransmissions(CLIENT);
+    let mut fp = FNV_OFFSET;
+    fp = fnv_fold(fp, &remote_image);
+    fp = fnv_fold(fp, &local_image);
+    fp = fnv_fold(fp, &retransmissions.to_le_bytes());
+    fp = fnv_fold(fp, &elapsed_ps.to_le_bytes());
+    for s in &status {
+        for v in [
+            s.frames_lost,
+            s.frames_crc_dropped,
+            s.frames_reordered,
+            s.frames_duplicated,
+            s.timeouts,
+        ] {
+            fp = fnv_fold(fp, &v.to_le_bytes());
+        }
+    }
+    ChaosOutcome {
+        fingerprint: fp,
+        ops: ops.len() as u64,
+        bytes_moved,
+        elapsed_ps,
+        retransmissions,
+        crc_dropped: status.iter().map(|s| s.frames_crc_dropped).sum(),
+        frames_lost: status.iter().map(|s| s.frames_lost).sum(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +289,32 @@ mod tests {
         let a = chaos_model(1);
         let b = chaos_model(2);
         assert_ne!(a, b, "different seeds should explore different faults");
+    }
+
+    #[test]
+    fn chaos_runs_reproduce_and_differ_across_platforms() {
+        let spec = ChaosSpec {
+            platform: Platform::TenGig,
+            ops: 6,
+            seed: 11,
+        };
+        let a = run_chaos(&spec);
+        let b = run_chaos(&spec);
+        assert_eq!(a, b, "same spec must reproduce bit-identically");
+        let hundred = run_chaos(&ChaosSpec {
+            platform: Platform::HundredGig,
+            ..spec.clone()
+        });
+        // Same payload schedule, different timing plane: the images fold
+        // identically but elapsed time shrinks on the wider datapath.
+        assert_eq!(hundred.ops, a.ops);
+        assert_eq!(hundred.bytes_moved, a.bytes_moved);
+        assert!(
+            hundred.elapsed_ps < a.elapsed_ps,
+            "100 G chaos must finish faster: {} vs {}",
+            hundred.elapsed_ps,
+            a.elapsed_ps
+        );
     }
 
     #[test]

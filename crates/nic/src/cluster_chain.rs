@@ -28,7 +28,7 @@ use strom_sim::time::TimeDelta;
 use strom_sim::SimRng;
 use strom_wire::opcode::RpcOpCode;
 
-use crate::config::NicConfig;
+use crate::config::Platform;
 use crate::fault::LinkFaultModel;
 use crate::testbed::{ClusterTestbed, SwitchParams};
 
@@ -53,6 +53,8 @@ fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
 /// Everything that determines one chain run.
 #[derive(Debug, Clone)]
 pub struct ChainSpec {
+    /// Hardware platform (10 G or 100 G datapath).
+    pub platform: Platform,
     /// 8 B tuples in the client's payload.
     pub tuples: usize,
     /// Seed for payload contents and all simulation randomness.
@@ -69,9 +71,10 @@ pub struct ChainSpec {
 }
 
 impl ChainSpec {
-    /// A fault-free spec.
+    /// A fault-free 10 G spec.
     pub fn new(tuples: usize, seed: u64) -> Self {
         ChainSpec {
+            platform: Platform::TenGig,
             tuples,
             seed,
             partitions: 16,
@@ -101,7 +104,7 @@ pub struct ChainRun {
 }
 
 fn testbed(spec: &ChainSpec) -> ClusterTestbed {
-    let mut cfg = NicConfig::ten_gig();
+    let mut cfg = spec.platform.config();
     cfg.seed = spec.seed;
     cfg.fault = spec.fault;
     let mut tb = ClusterTestbed::switched(cfg, 2, SwitchParams::default());

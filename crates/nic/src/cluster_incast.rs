@@ -22,13 +22,15 @@ use strom_sim::SimRng;
 use strom_telemetry::{jain_index, Histogram, MetricsRegistry};
 use strom_wire::bth::Qpn;
 
-use crate::config::NicConfig;
+use crate::config::Platform;
 use crate::testbed::{ClusterTestbed, SwitchParams};
 use crate::{CompletionStatus, WorkRequest};
 
 /// Everything that determines one incast run.
 #[derive(Debug, Clone)]
 pub struct IncastSpec {
+    /// Hardware platform (10 G or 100 G datapath).
+    pub platform: Platform,
     /// Concurrent senders (the receiver is one extra node).
     pub senders: usize,
     /// Bytes per RDMA WRITE message.
@@ -44,7 +46,7 @@ pub struct IncastSpec {
     /// Enables DCQCN on every NIC.
     pub cc: bool,
     /// Overrides the NIC retransmission timeout (`None` keeps the
-    /// [`NicConfig::ten_gig`] default).
+    /// platform default).
     pub retransmit_timeout: Option<TimeDelta>,
     /// The first `elephants` senders keep `window × elephant_boost`
     /// messages outstanding instead of `window` — the elephant flows of
@@ -61,9 +63,10 @@ pub struct IncastSpec {
 }
 
 impl IncastSpec {
-    /// A congestion-control-off spec with default switch geometry.
+    /// A congestion-control-off 10 G spec with default switch geometry.
     pub fn new(senders: usize, window: usize, seed: u64) -> Self {
         IncastSpec {
+            platform: Platform::TenGig,
             senders,
             message_len: 8 << 10,
             messages_per_sender: 24,
@@ -151,7 +154,7 @@ pub fn run_incast_instrumented(spec: &IncastSpec) -> (IncastOutcome, MetricsRegi
     let n = spec.senders;
     let receiver: usize = 0;
 
-    let mut cfg = NicConfig::ten_gig();
+    let mut cfg = spec.platform.config();
     cfg.seed = spec.seed;
     cfg.cc = spec.cc;
     if let Some(timeout) = spec.retransmit_timeout {

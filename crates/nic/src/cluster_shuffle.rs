@@ -26,7 +26,7 @@ use strom_sim::SimRng;
 use strom_wire::bth::Qpn;
 use strom_wire::opcode::RpcOpCode;
 
-use crate::config::NicConfig;
+use crate::config::Platform;
 use crate::event::NodeId;
 use crate::fault::LinkFaultModel;
 use crate::testbed::{ClusterTestbed, SwitchParams};
@@ -37,6 +37,8 @@ const EVENT_BUDGET: u64 = 200_000_000;
 /// Everything that determines one shuffle run.
 #[derive(Debug, Clone)]
 pub struct ShuffleSpec {
+    /// Hardware platform (10 G or 100 G datapath).
+    pub platform: Platform,
     /// Number of nodes (≥ 2).
     pub nodes: usize,
     /// 8 B values in each node's local table.
@@ -54,7 +56,7 @@ pub struct ShuffleSpec {
     /// Enables the structured trace ring with this capacity.
     pub trace_capacity: Option<usize>,
     /// Overrides the NIC retransmission timeout (`None` keeps the
-    /// [`NicConfig::ten_gig`] default). Deep-buffered switch geometries
+    /// platform default). Deep-buffered switch geometries
     /// need this: queueing delay beyond the timeout turns every queued
     /// frame into a spurious retransmission.
     pub retransmit_timeout: Option<TimeDelta>,
@@ -65,9 +67,10 @@ pub struct ShuffleSpec {
 }
 
 impl ShuffleSpec {
-    /// A fault-free spec with default switch geometry.
+    /// A fault-free 10 G spec with default switch geometry.
     pub fn new(nodes: usize, values_per_node: usize, seed: u64) -> Self {
         ShuffleSpec {
+            platform: Platform::TenGig,
             nodes,
             values_per_node,
             local_partitions: 16,
@@ -175,7 +178,7 @@ pub fn run_shuffle(spec: &ShuffleSpec) -> ShuffleOutcome {
     let n = spec.nodes;
     let expected = expected_partitions(spec);
 
-    let mut cfg = NicConfig::ten_gig();
+    let mut cfg = spec.platform.config();
     cfg.seed = spec.seed;
     cfg.fault = spec.fault;
     cfg.cc = spec.cc;

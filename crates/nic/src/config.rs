@@ -5,6 +5,57 @@ use strom_mem::PcieModel;
 use strom_sim::time::{TimeDelta, MICROS, NANOS};
 use strom_sim::{Bandwidth, Clock};
 
+/// The two hardware platforms of the paper, as a first-class value so
+/// scenario specs, the workload corpus, and reports can name the
+/// datapath they ran on.
+///
+/// §6.1 describes the 10 G prototype (Virtex-7, 156.25 MHz × 8 B) and
+/// §7 the 100 G version (UltraScale+, 322 MHz × 64 B); every knob each
+/// name implies lives in the [`NicConfig`] the platform expands to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// 10 G: 156.25 MHz clock, 8 B datapath, PCIe Gen3 x8 (§6.1).
+    TenGig,
+    /// 100 G: 322 MHz clock, 64 B datapath, PCIe Gen3 x16 (§7).
+    HundredGig,
+}
+
+impl Platform {
+    /// Both platforms, in corpus-matrix order.
+    pub const ALL: [Platform; 2] = [Platform::TenGig, Platform::HundredGig];
+
+    /// Expands the platform to its full [`NicConfig`] preset.
+    pub fn config(self) -> NicConfig {
+        match self {
+            Platform::TenGig => NicConfig::ten_gig(),
+            Platform::HundredGig => NicConfig::hundred_gig(),
+        }
+    }
+
+    /// The stable wire name used in reports and golden files.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::TenGig => "10g",
+            Platform::HundredGig => "100g",
+        }
+    }
+
+    /// Parses a wire name back to a platform.
+    pub fn from_name(name: &str) -> Option<Platform> {
+        match name {
+            "10g" => Some(Platform::TenGig),
+            "100g" => Some(Platform::HundredGig),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// All timing and sizing parameters of one testbed.
 #[derive(Debug, Clone, Copy)]
 pub struct NicConfig {
@@ -182,5 +233,50 @@ mod tests {
     #[test]
     fn payload_budget() {
         assert_eq!(NicConfig::ten_gig().max_payload(), 1440);
+    }
+
+    #[test]
+    fn platform_round_trips_and_expands() {
+        for p in Platform::ALL {
+            assert_eq!(Platform::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Platform::from_name("25g"), None);
+        assert_eq!(Platform::TenGig.config().datapath_bytes, 8);
+        assert_eq!(Platform::HundredGig.config().datapath_bytes, 64);
+        assert_eq!(Platform::TenGig.to_string(), "10g");
+    }
+
+    /// Partial-beat rounding of the ICRC store-and-forward, pinned at
+    /// both datapath widths: a packet whose length is not a multiple of
+    /// the word width occupies one extra cycle for its ragged final
+    /// beat, and the time is exactly `ceil(len / width)` periods — the
+    /// corpus fingerprints build on these constants, so any drift here
+    /// must fail a unit test before it fails a golden.
+    #[test]
+    fn store_and_forward_partial_beats_are_pinned() {
+        let c10 = NicConfig::ten_gig();
+        let c100 = NicConfig::hundred_gig();
+        // Full-MTU IP packet (1500 B): 188 words at 8 B (187.5 rounds
+        // up), 24 words at 64 B (23.44 rounds up).
+        assert_eq!(c10.store_and_forward_time(1500), 188 * 6400);
+        assert_eq!(c100.store_and_forward_time(1500), 24 * 3106);
+        // One byte past a word boundary costs a whole extra beat.
+        assert_eq!(c10.store_and_forward_time(65), 9 * 6400);
+        assert_eq!(c100.store_and_forward_time(65), 2 * 3106);
+        // Exact multiples never round.
+        assert_eq!(c100.store_and_forward_time(128), 2 * 3106);
+        // And the time never under-charges the byte stream: at least
+        // len * period / width for every length at both widths.
+        for len in 1..=256usize {
+            for c in [&c10, &c100] {
+                let t = c.store_and_forward_time(len);
+                let floor = (len as u64 * c.clock.period_ps()).div_ceil(c.datapath_bytes);
+                assert!(
+                    t >= floor,
+                    "{len} B under-charged at {} B width",
+                    c.datapath_bytes
+                );
+            }
+        }
     }
 }

@@ -51,7 +51,7 @@ use strom_telemetry::{Histogram, MetricsRegistry};
 use strom_wire::bth::Qpn;
 use strom_wire::opcode::RpcOpCode;
 
-use crate::config::NicConfig;
+use crate::config::Platform;
 use crate::fault::LinkFaultModel;
 use crate::testbed::{ClusterTestbed, SwitchParams};
 use crate::WorkRequest;
@@ -59,6 +59,8 @@ use crate::WorkRequest;
 /// Everything that determines one serving-tier run.
 #[derive(Debug, Clone)]
 pub struct KvSpec {
+    /// Hardware platform (10 G or 100 G datapath).
+    pub platform: Platform,
     /// Server nodes (each hosts one shard of the key space).
     pub servers: usize,
     /// Client nodes (each aggregates many logical clients; arrivals are
@@ -103,6 +105,7 @@ impl KvSpec {
     /// with a sprinkle of misses and inserts.
     pub fn new(servers: usize, clients: usize, mean_gap_ps: u64, seed: u64) -> Self {
         KvSpec {
+            platform: Platform::TenGig,
             servers,
             clients,
             keys_per_server: 48,
@@ -295,7 +298,7 @@ pub fn run_kv_serve_instrumented(spec: &KvSpec) -> (KvOutcome, MetricsRegistry) 
     let m = spec.servers;
     let schedule = build_schedule(spec);
 
-    let mut cfg = NicConfig::ten_gig();
+    let mut cfg = spec.platform.config();
     cfg.seed = spec.seed;
     cfg.cc = spec.cc;
     let mut tb = ClusterTestbed::switched(cfg, m + spec.clients, spec.switch);

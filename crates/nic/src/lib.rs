@@ -25,6 +25,7 @@ pub mod cluster_incast;
 pub mod cluster_shuffle;
 pub mod config;
 pub mod controller;
+pub mod corpus;
 pub mod event;
 pub mod fabric;
 pub mod fault;
@@ -33,8 +34,12 @@ pub mod pdes_cluster;
 pub mod testbed;
 
 pub use cluster_chain::{run_crcverify_shuffle, run_filter_agg_hll, ChainRun, ChainSpec};
-pub use config::NicConfig;
+pub use config::{NicConfig, Platform};
 pub use controller::{CommandWord, StatusRegisters};
+pub use corpus::{
+    run_corpus, run_corpus_cases, CorpusCase, CorpusReport, CorpusScale, PerfGate, ScenarioSpec,
+    SpecError, Workload,
+};
 pub use event::{Event, NodeId};
 pub use fabric::KernelFabric;
 pub use fault::{LinkFaultModel, LossModel};
@@ -45,7 +50,7 @@ pub use pdes_cluster::{
 };
 pub use testbed::{ClusterTestbed, CpuFallback, LookaheadReport, SwitchParams, Testbed, WatchId};
 
-pub use chaos::{active_fault_types, chaos_model};
+pub use chaos::{active_fault_types, chaos_model, run_chaos, ChaosOutcome, ChaosSpec};
 
 // Re-export the work-request vocabulary users need at the testbed API.
 pub use strom_proto::{Completion, CompletionStatus, WorkRequest};

@@ -136,6 +136,34 @@ mod tests {
         assert_eq!(clk.cycles_for_bytes(0, 8), 0);
     }
 
+    /// The 100 G datapath pin (§7): 64 B beats at the 322 MHz clock.
+    /// A partial final beat always charges a whole cycle — store-and-
+    /// forward stages that divided instead of ceiling here would
+    /// under-charge every frame that is not a multiple of 64 B.
+    #[test]
+    fn stream_time_pins_the_64_byte_datapath() {
+        let clk = Clock::from_mhz(322.0);
+        // One beat up to and including 64 B, never zero for nonzero len.
+        assert_eq!(clk.stream_time(1, 64), 3106);
+        assert_eq!(clk.stream_time(64, 64), 3106);
+        // 65 B spills into a second beat; exact multiples do not.
+        assert_eq!(clk.stream_time(65, 64), 2 * 3106);
+        assert_eq!(clk.stream_time(128, 64), 2 * 3106);
+        // A 1500 B MTU frame is 24 beats (1500 = 23*64 + 28).
+        assert_eq!(clk.stream_time(1500, 64), 24 * 3106);
+        // The invariant behind all of these, swept across both widths:
+        // charged time is never below len*period/width (no under-
+        // charging), and never a full beat above it.
+        for width in [8u64, 64] {
+            for len in 1..=256u64 {
+                let t = clk.stream_time(len, width);
+                let exact_num = len * clk.period_ps();
+                assert!(t * width >= exact_num, "len {len} width {width}");
+                assert!(t * width < exact_num + clk.period_ps() * width);
+            }
+        }
+    }
+
     #[test]
     fn unit_constants_are_consistent() {
         assert_eq!(NANOS, 1_000 * PICOS);

@@ -1,9 +1,10 @@
-//! Golden-file test for the pcap exporter: a short, fully deterministic
-//! READ/WRITE exchange must capture byte-identically to the checked-in
-//! fixture, and every captured frame must round-trip through
-//! [`Packet::parse`].
+//! Golden-file tests for the pcap exporter: a short, fully
+//! deterministic READ/WRITE exchange must capture byte-identically to
+//! the checked-in fixture — at both hardware platforms, since the 100 G
+//! datapath changes frame *timestamps* (and must change nothing else) —
+//! and every captured frame must round-trip through [`Packet::parse`].
 //!
-//! Regenerate the fixture after an intentional wire-format or timing
+//! Regenerate the fixtures after an intentional wire-format or timing
 //! change with:
 //!
 //! ```text
@@ -20,10 +21,15 @@ const FIXTURE: &str = concat!(
     "/tests/golden/short_exchange.pcap"
 );
 
+const FIXTURE_100G: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/short_exchange_100g.pcap"
+);
+
 /// Runs the canonical short exchange — one 256 B WRITE then one 512 B
-/// READ on a 10G testbed — and returns the captured pcap bytes.
-fn capture_short_exchange() -> Vec<u8> {
-    let mut tb = Testbed::new(NicConfig::ten_gig());
+/// READ — on `cfg` and returns the captured pcap bytes.
+fn capture_short_exchange_on(cfg: NicConfig) -> Vec<u8> {
+    let mut tb = Testbed::new(cfg);
     tb.connect_qp(1);
     tb.enable_capture();
     let local = tb.pin(0, 1 << 21);
@@ -55,21 +61,56 @@ fn capture_short_exchange() -> Vec<u8> {
     tb.pcap_bytes().expect("capture enabled").to_vec()
 }
 
-#[test]
-fn short_exchange_matches_golden_fixture() {
-    let got = capture_short_exchange();
+/// The canonical 10 G capture.
+fn capture_short_exchange() -> Vec<u8> {
+    capture_short_exchange_on(NicConfig::ten_gig())
+}
+
+/// Checks (or, under `STROM_BLESS`, rewrites) one golden fixture.
+fn check_fixture(path: &str, got: &[u8]) {
     if std::env::var_os("STROM_BLESS").is_some() {
-        std::fs::write(FIXTURE, &got).expect("write fixture");
+        std::fs::write(path, got).expect("write fixture");
         return;
     }
-    let want = std::fs::read(FIXTURE)
+    let want = std::fs::read(path)
         .expect("fixture missing — regenerate with STROM_BLESS=1 cargo test --test pcap_golden");
     assert_eq!(
-        got, want,
+        got,
+        &want[..],
         "pcap capture diverged from the golden fixture; if the wire \
          format or timing model changed intentionally, re-bless with \
          STROM_BLESS=1"
     );
+}
+
+#[test]
+fn short_exchange_matches_golden_fixture() {
+    check_fixture(FIXTURE, &capture_short_exchange());
+}
+
+/// The same exchange on the 100 G platform, pinned to its own fixture:
+/// the frame *bytes* must match the 10 G capture exactly (the platform
+/// must never leak into the wire format), only the capture timestamps
+/// may differ — and each must be strictly earlier than its 10 G
+/// counterpart.
+#[test]
+fn short_exchange_100g_matches_golden_fixture() {
+    let got = capture_short_exchange_on(NicConfig::hundred_gig());
+    check_fixture(FIXTURE_100G, &got);
+
+    let ten = pcap::read_frames(&capture_short_exchange()).expect("valid pcap");
+    let hundred = pcap::read_frames(&got).expect("valid pcap");
+    assert_eq!(ten.len(), hundred.len(), "frame count must match 10 G");
+    for (i, ((ts10, f10), (ts100, f100))) in ten.iter().zip(&hundred).enumerate() {
+        assert_eq!(
+            f10, f100,
+            "frame {i}: wire bytes must be platform-independent"
+        );
+        assert!(
+            ts100 < ts10,
+            "frame {i}: 100 G timestamp {ts100} !< 10 G timestamp {ts10}"
+        );
+    }
 }
 
 #[test]
